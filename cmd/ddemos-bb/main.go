@@ -1,0 +1,37 @@
+// ddemos-bb runs one Bulletin Board replica: a public, anonymous HTTP read
+// API plus signature-verified write endpoints. BB nodes never talk to each
+// other (§III-G); readers query several and take the majority answer.
+//
+//	ddemos-bb -init election/bb.gob -http :9100
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/ea"
+	"ddemos/internal/httpapi"
+)
+
+func main() {
+	initPath := flag.String("init", "", "path to bb.gob")
+	httpAddr := flag.String("http", ":9100", "public HTTP address")
+	flag.Parse()
+	if *initPath == "" {
+		log.Fatal("-init is required")
+	}
+	var init ea.BBInit
+	if err := httpapi.ReadGobFile(*initPath, &init); err != nil {
+		log.Fatal(err)
+	}
+	node, err := bb.NewNode(&init)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bb node serving election %q on %s", init.Manifest.ElectionID, *httpAddr)
+	srv := &http.Server{Addr: *httpAddr, Handler: httpapi.BBHandler(node), ReadHeaderTimeout: 10 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}

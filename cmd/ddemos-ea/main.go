@@ -1,0 +1,91 @@
+// ddemos-ea runs the Election Authority: it generates all initialization
+// data and writes one payload file per component into -out. Distribute the
+// files over secure channels, then delete the directory — the EA must not
+// survive setup (§III-B of the paper).
+//
+//	ddemos-ea -out ./election -ballots 1000 -options yes,no -vc 4 -bb 3 -trustees 3 \
+//	          -start 2026-06-10T08:00:00Z -end 2026-06-10T20:00:00Z
+//
+// Output files:
+//
+//	manifest.gob            public election description (give to everyone)
+//	ballots.gob             all voter ballots (for the distribution channel)
+//	vc-<i>.gob              VC node i's private initialization data
+//	bb.gob                  BB node initialization data (identical per node)
+//	trustee-<i>.gob         trustee i's private shares
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ddemos"
+	"ddemos/internal/httpapi"
+)
+
+func main() {
+	out := flag.String("out", "election", "output directory")
+	ballots := flag.Int("ballots", 100, "number of eligible voters")
+	options := flag.String("options", "yes,no", "comma-separated options")
+	nv := flag.Int("vc", 4, "vote collector nodes")
+	nb := flag.Int("bb", 3, "bulletin board nodes")
+	nt := flag.Int("trustees", 3, "trustees")
+	ht := flag.Int("threshold", 0, "trustee threshold (default majority)")
+	startS := flag.String("start", "", "voting start, RFC3339 (default now)")
+	endS := flag.String("end", "", "voting end, RFC3339 (default start+12h)")
+	flag.Parse()
+
+	start := time.Now()
+	if *startS != "" {
+		var err error
+		if start, err = time.Parse(time.RFC3339, *startS); err != nil {
+			log.Fatalf("bad -start: %v", err)
+		}
+	}
+	end := start.Add(12 * time.Hour)
+	if *endS != "" {
+		var err error
+		if end, err = time.Parse(time.RFC3339, *endS); err != nil {
+			log.Fatalf("bad -end: %v", err)
+		}
+	}
+
+	data, err := ddemos.Setup(ddemos.Params{
+		ElectionID:       fmt.Sprintf("election-%d", start.Unix()),
+		Options:          strings.Split(*options, ","),
+		NumBallots:       *ballots,
+		NumVC:            *nv,
+		NumBB:            *nb,
+		NumTrustees:      *nt,
+		TrusteeThreshold: *ht,
+		VotingStart:      start,
+		VotingEnd:        end,
+	})
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o700); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, v any) {
+		if err := httpapi.WriteGobFile(filepath.Join(*out, name), v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", filepath.Join(*out, name))
+	}
+	write("manifest.gob", &data.Manifest)
+	write("ballots.gob", data.Ballots)
+	for i, v := range data.VC {
+		write(fmt.Sprintf("vc-%d.gob", i), v)
+	}
+	write("bb.gob", data.BB)
+	for i, t := range data.Trustees {
+		write(fmt.Sprintf("trustee-%d.gob", i), t)
+	}
+	fmt.Println("\nsetup complete — distribute the files, then DELETE this directory.")
+}

@@ -1,0 +1,64 @@
+// ddemos-trustee runs one trustee: it reads the published cast data from
+// the BB nodes (majority), computes its shares of the tally opening and the
+// zero-knowledge final moves, and posts them to every BB node (§III-H).
+//
+//	ddemos-trustee -init election/trustee-0.gob \
+//	               -bb http://localhost:9100,http://localhost:9101,http://localhost:9102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/ea"
+	"ddemos/internal/httpapi"
+	"ddemos/internal/trustee"
+)
+
+func main() {
+	initPath := flag.String("init", "", "path to trustee-<i>.gob")
+	bbS := flag.String("bb", "", "comma-separated BB base URLs")
+	wait := flag.Duration("wait", 5*time.Second, "poll interval while cast data is unpublished")
+	flag.Parse()
+	if *initPath == "" || *bbS == "" {
+		log.Fatal("-init and -bb are required")
+	}
+	var init ea.TrusteeInit
+	if err := httpapi.ReadGobFile(*initPath, &init); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trustee.New(&init)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var apis []bb.API
+	var clients []*httpapi.BBClient
+	for _, base := range strings.Split(*bbS, ",") {
+		c := &httpapi.BBClient{BaseURL: base}
+		apis = append(apis, c)
+		clients = append(clients, c)
+	}
+	reader := bb.NewReader(apis)
+
+	var post *bb.TrusteePost
+	for {
+		post, err = tr.ComputePost(reader)
+		if err == nil {
+			break
+		}
+		log.Printf("cast data not ready (%v); retrying in %v", err, *wait)
+		time.Sleep(*wait)
+	}
+	for _, c := range clients {
+		if err := c.SubmitTrusteePost(post); err != nil {
+			log.Printf("post to %s: %v", c.BaseURL, err)
+			continue
+		}
+		fmt.Println("posted shares to", c.BaseURL)
+	}
+	log.Printf("trustee %d done", init.Index)
+}

@@ -1,0 +1,98 @@
+// ddemos-vc runs one Vote Collector node in a multi-process deployment:
+// inter-VC traffic over TCP, the public voter endpoint over HTTP. At the
+// election end time it runs vote-set consensus and pushes the agreed set
+// (and its master-key share) to every BB node.
+//
+//	ddemos-vc -init election/vc-0.gob \
+//	          -listen :7100 -peers :7100,:7101,:7102,:7103 \
+//	          -http :8100 -bb http://localhost:9100,http://localhost:9101
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"ddemos/internal/ea"
+	"ddemos/internal/httpapi"
+	"ddemos/internal/transport"
+	"ddemos/internal/vc"
+)
+
+func main() {
+	initPath := flag.String("init", "", "path to vc-<i>.gob")
+	listen := flag.String("listen", ":7100", "TCP listen address for inter-VC traffic")
+	peersS := flag.String("peers", "", "comma-separated peer TCP addresses, in node-index order")
+	httpAddr := flag.String("http", ":8100", "public HTTP voting endpoint")
+	bbS := flag.String("bb", "", "comma-separated BB base URLs for the election-end push")
+	flag.Parse()
+	if *initPath == "" {
+		log.Fatal("-init is required")
+	}
+
+	var init ea.VCInit
+	if err := httpapi.ReadGobFile(*initPath, &init); err != nil {
+		log.Fatal(err)
+	}
+	peers := map[transport.NodeID]string{}
+	for i, addr := range strings.Split(*peersS, ",") {
+		if i != init.Index && addr != "" {
+			peers[transport.NodeID(i)] = addr //nolint:gosec // small
+		}
+	}
+	tcp, err := transport.NewTCPNode(transport.NodeID(init.Index), *listen, peers) //nolint:gosec // small
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := vc.New(vc.Config{Init: &init, Endpoint: tcp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node.Start()
+	defer node.Stop()
+	log.Printf("vc node %d: inter-VC on %s, voters on %s", init.Index, tcp.Addr(), *httpAddr)
+
+	// Public voter endpoint.
+	srv := &http.Server{Addr: *httpAddr, Handler: httpapi.VCHandler(node), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+	defer func() { _ = srv.Close() }()
+
+	// Wait for election end, then run vote-set consensus and push to BB.
+	if d := time.Until(init.Manifest.VotingEnd); d > 0 {
+		log.Printf("collecting votes until %s (%s)", init.Manifest.VotingEnd, d.Round(time.Second))
+		time.Sleep(d)
+	}
+	log.Printf("election ended; running vote set consensus")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	set, err := node.VoteSetConsensus(ctx)
+	if err != nil {
+		log.Fatalf("vote set consensus: %v", err)
+	}
+	log.Printf("agreed on %d voted ballots", len(set))
+
+	sg := node.SignVoteSet(set)
+	for _, base := range strings.Split(*bbS, ",") {
+		if base == "" {
+			continue
+		}
+		client := &httpapi.BBClient{BaseURL: base}
+		if err := client.SubmitVoteSet(init.Index, set, sg); err != nil {
+			log.Printf("push to %s: %v", base, err)
+			continue
+		}
+		if err := client.SubmitMskShare(node.MskShare()); err != nil {
+			log.Printf("msk share to %s: %v", base, err)
+			continue
+		}
+		fmt.Println("pushed vote set and key share to", base)
+	}
+}

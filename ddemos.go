@@ -1,0 +1,148 @@
+// Package ddemos is a from-scratch Go implementation of D-DEMOS
+// (Chondros et al., ICDCS 2016): a distributed, end-to-end verifiable
+// internet voting system with no single point of failure after setup.
+//
+// The system consists of four component families:
+//
+//   - The Election Authority (Setup) generates ballots, keys and the
+//     initialization data of every other component, then is destroyed.
+//   - Vote Collectors (Nv nodes, fv < Nv/3 Byzantine) issue
+//     recorded-as-cast receipts to voters without any client-side
+//     cryptography, and agree on the final vote set asynchronously.
+//   - Bulletin Boards (Nb isolated replicas, fb < Nb/2 Byzantine) publish
+//     everything; readers trust the majority answer.
+//   - Trustees (ht-of-Nt threshold) jointly open the homomorphic tally and
+//     complete the zero-knowledge proofs, so that voters and third parties
+//     can verify the entire election.
+//
+// Quick start:
+//
+//	data, _ := ddemos.Setup(ddemos.Params{
+//	    ElectionID: "demo", Options: []string{"yes", "no"},
+//	    NumBallots: 100, NumVC: 4, NumBB: 3, NumTrustees: 3,
+//	    VotingStart: time.Now(), VotingEnd: time.Now().Add(time.Hour),
+//	})
+//	cluster, _ := ddemos.NewCluster(data, ddemos.ClusterOptions{})
+//	defer cluster.Stop()
+//	v := ddemos.NewVoter(data.Ballots[0], cluster.VoterServices())
+//	res, _ := v.Cast(ctx, 0)                  // vote "yes", get a receipt
+//	result, _ := cluster.RunPipeline(ctx)     // close polls, tally
+//	report, _ := ddemos.Audit(cluster.Reader, nil)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package ddemos
+
+import (
+	"context"
+	"time"
+
+	"ddemos/internal/auditor"
+	"ddemos/internal/ballot"
+	"ddemos/internal/bb"
+	"ddemos/internal/core"
+	"ddemos/internal/ea"
+	"ddemos/internal/voter"
+)
+
+// Params configures an election. See ea.Params for field documentation.
+type Params = ea.Params
+
+// ElectionData is the complete output of Setup.
+type ElectionData = ea.ElectionData
+
+// Manifest is the public election description.
+type Manifest = ea.Manifest
+
+// Ballot is a voter's two-part ballot.
+type Ballot = ballot.Ballot
+
+// AuditPackage is the delegation payload a voter hands to an auditor.
+type AuditPackage = ballot.AuditPackage
+
+// Result is the published election outcome.
+type Result = bb.Result
+
+// Report is an auditor's verification report.
+type Report = auditor.Report
+
+// CastResult records a voter's successful vote.
+type CastResult = voter.CastResult
+
+// ClusterOptions configures an in-process deployment.
+type ClusterOptions = core.Options
+
+// Cluster is an in-process deployment of the full system.
+type Cluster struct {
+	*core.Cluster
+}
+
+// Setup runs the Election Authority and returns all initialization data.
+// After distributing the payloads, discard the ElectionData except for the
+// public Manifest — the EA must be destroyed (§III-B of the paper).
+func Setup(p Params) (*ElectionData, error) {
+	return ea.Setup(p)
+}
+
+// NewCluster wires a complete in-process election from setup data.
+func NewCluster(data *ElectionData, opts ClusterOptions) (*Cluster, error) {
+	c, err := core.NewCluster(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Cluster: c}, nil
+}
+
+// VoterServices returns the VC endpoints a voter client needs.
+func (c *Cluster) VoterServices() []voter.Service {
+	out := make([]voter.Service, len(c.VCs))
+	for i, n := range c.VCs {
+		out[i] = n
+	}
+	return out
+}
+
+// NewVoter builds a voter client for a ballot.
+func NewVoter(b *Ballot, services []voter.Service) *voter.Client {
+	return &voter.Client{Ballot: b, Services: services, Patience: 5 * time.Second}
+}
+
+// Audit verifies the complete election from the Bulletin Board, plus any
+// delegated voter packages. The report lists every violated check.
+func Audit(reader *bb.Reader, packages []*AuditPackage) (*Report, error) {
+	return auditor.Audit(reader, packages)
+}
+
+// RunElection is the batteries-included helper: it sets up an election,
+// casts the given votes (votes[i] is voter i's option index, -1 abstains),
+// runs the full pipeline and returns the published result. Intended for
+// demos and tests; real deployments drive the components individually.
+func RunElection(ctx context.Context, p Params, votes []int) (*Result, *Report, error) {
+	data, err := Setup(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster, err := NewCluster(data, ClusterOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cluster.Stop()
+	services := cluster.VoterServices()
+	for i, opt := range votes {
+		if opt < 0 || i >= len(data.Ballots) {
+			continue
+		}
+		v := NewVoter(data.Ballots[i], services)
+		if _, err := v.Cast(ctx, opt); err != nil {
+			return nil, nil, err
+		}
+	}
+	result, err := cluster.RunPipeline(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := Audit(cluster.Reader, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return result, report, nil
+}

@@ -1,0 +1,81 @@
+package ddemos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunElection(t *testing.T) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	result, report, err := RunElection(ctx, Params{
+		ElectionID:  "api-test",
+		Options:     []string{"yes", "no"},
+		NumBallots:  5,
+		NumVC:       4,
+		NumBB:       3,
+		NumTrustees: 3,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("api-test"),
+	}, []int{0, 0, 1, -1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Counts[0] != 3 || result.Counts[1] != 1 {
+		t.Fatalf("counts = %v, want [3 1]", result.Counts)
+	}
+	if !report.OK() {
+		t.Fatalf("audit failed: %v", report.Failures)
+	}
+}
+
+func TestPublicAPIVoterFlow(t *testing.T) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := Setup(Params{
+		ElectionID:  "api-flow",
+		Options:     []string{"a", "b"},
+		NumBallots:  2,
+		NumVC:       4,
+		NumBB:       3,
+		NumTrustees: 3,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("api-flow"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(data, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v := NewVoter(data.Ballots[0], cluster.VoterServices())
+	res, err := v.Cast(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.RunPipeline(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(cluster.Reader, res); err != nil {
+		t.Fatalf("voter verification: %v", err)
+	}
+	pkg, err := v.AuditPackage(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Audit(cluster.Reader, []*AuditPackage{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("audit failed: %v", report.Failures)
+	}
+}

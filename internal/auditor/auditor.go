@@ -1,0 +1,283 @@
+// Package auditor implements the election auditors of §III-I: any party can
+// read the Bulletin Board (by majority) and verify the complete election,
+// and voters can delegate their private checks without revealing their
+// choices. The checks map one-to-one onto the paper's list:
+//
+//	(a) within each opened ballot, no two vote codes are equal;
+//	(b) no ballot part has more than MaxSelections submitted vote codes;
+//	(c) within each ballot, at most one part was used;
+//	(d) all published commitment openings are valid unit vectors;
+//	(e) all ZK proofs on used ballot parts are complete and valid under the
+//	    voter-coin challenge;
+//	(f) delegated: submitted vote codes match what the voters report;
+//	(g) delegated: the opened unused parts match the voters' ballot copies.
+//
+// Plus the global checks that make the tally end-to-end verifiable: the
+// published counts open the homomorphic sum of exactly the cast
+// commitments, and the challenge coins are consistent with the cast codes.
+package auditor
+
+import (
+	"fmt"
+	"math/big"
+
+	"ddemos/internal/ballot"
+	"ddemos/internal/bb"
+	"ddemos/internal/crypto/elgamal"
+	"ddemos/internal/crypto/votecode"
+	"ddemos/internal/crypto/zkp"
+	"ddemos/internal/ea"
+	"ddemos/internal/voter"
+)
+
+// Report is the outcome of an audit.
+type Report struct {
+	// Failures lists every violated check, human-readable.
+	Failures []string
+	// BallotsChecked / ProofsChecked / OpeningsChecked count the work done.
+	BallotsChecked  int
+	ProofsChecked   int
+	OpeningsChecked int
+	DelegatedChecks int
+}
+
+// OK reports whether the election verified completely.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+func (r *Report) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// Audit runs the full election verification, plus delegated checks for any
+// provided voter packages.
+func Audit(reader *bb.Reader, packages []*ballot.AuditPackage) (*Report, error) {
+	rep := &Report{}
+	man, err := reader.Manifest()
+	if err != nil {
+		return nil, fmt.Errorf("auditor: reading manifest: %w", err)
+	}
+	init, err := reader.Init()
+	if err != nil {
+		return nil, fmt.Errorf("auditor: reading init data: %w", err)
+	}
+	voteSet, err := reader.VoteSet()
+	if err != nil {
+		return nil, fmt.Errorf("auditor: reading vote set: %w", err)
+	}
+	cast, err := reader.Cast()
+	if err != nil {
+		return nil, fmt.Errorf("auditor: reading cast data: %w", err)
+	}
+	result, err := reader.Result()
+	if err != nil {
+		return nil, fmt.Errorf("auditor: reading result: %w", err)
+	}
+
+	m := len(man.Options)
+	ck := man.CommitmentKey()
+	master := zkp.MasterChallenge(man.ElectionID, cast.Coins)
+
+	// Check coins are consistent with the cast marks (challenge integrity).
+	if len(cast.Coins) != len(cast.Marks) {
+		rep.failf("coins length %d != marks %d", len(cast.Coins), len(cast.Marks))
+	} else {
+		for i, mk := range cast.Marks {
+			if cast.Coins[i] != mk.Part {
+				rep.failf("coin %d inconsistent with cast mark part", i)
+			}
+		}
+	}
+
+	// (a) vote codes distinct within each opened ballot.
+	for bi := range cast.Codes {
+		seen := make(map[string]bool, 2*m)
+		for part := 0; part < 2; part++ {
+			for row, code := range cast.Codes[bi][part] {
+				if code == nil {
+					rep.failf("ballot %d part %d row %d failed to decrypt", bi+1, part, row)
+					continue
+				}
+				if seen[string(code)] {
+					rep.failf("ballot %d: duplicate vote code", bi+1)
+				}
+				seen[string(code)] = true
+			}
+		}
+		rep.BallotsChecked++
+	}
+
+	// (b) and (c): at most MaxSelections codes per part, one part per
+	// ballot, every cast code actually on the claimed ballot.
+	type usage struct {
+		parts map[uint8]int
+	}
+	used := make(map[uint64]*usage)
+	for _, mk := range cast.Marks {
+		u := used[mk.Serial]
+		if u == nil {
+			u = &usage{parts: make(map[uint8]int, 2)}
+			used[mk.Serial] = u
+		}
+		u.parts[mk.Part]++
+	}
+	for serial, u := range used {
+		if len(u.parts) > 1 {
+			rep.failf("ballot %d: both parts used", serial)
+		}
+		for part, cnt := range u.parts {
+			if cnt > man.MaxSelections {
+				rep.failf("ballot %d part %d: %d codes submitted (max %d)", serial, part, cnt, man.MaxSelections)
+			}
+		}
+	}
+	// Every vote-set entry must map to a mark (i.e., the code exists on the
+	// ballot it claims).
+	if len(voteSet) != len(cast.Marks) {
+		rep.failf("vote set has %d entries but %d were located on ballots", len(voteSet), len(cast.Marks))
+	}
+
+	// (d) openings valid and unit vectors.
+	for _, o := range result.Openings {
+		if o.Serial == 0 || o.Serial > uint64(man.NumBallots) || o.Part > 1 || o.Row >= m || o.Row < 0 {
+			rep.failf("opening with invalid coordinates (%d,%d,%d)", o.Serial, o.Part, o.Row)
+			continue
+		}
+		row := init.Ballots[o.Serial-1].Parts[o.Part][o.Row]
+		if len(o.Ms) != m || len(o.Rs) != m {
+			rep.failf("opening (%d,%d,%d) has wrong arity", o.Serial, o.Part, o.Row)
+			continue
+		}
+		ok := true
+		for col := 0; col < m; col++ {
+			if !ck.VerifyOpening(row.Commitment[col], o.Ms[col], o.Rs[col]) {
+				rep.failf("opening (%d,%d,%d) col %d does not match commitment", o.Serial, o.Part, o.Row, col)
+				ok = false
+			}
+		}
+		if ok {
+			op := elgamal.VectorOpening{Ms: o.Ms, Rs: o.Rs}
+			hot, err := op.HotIndex()
+			if err != nil {
+				rep.failf("opening (%d,%d,%d) is not a unit vector: %v", o.Serial, o.Part, o.Row, err)
+			} else if hot != o.HotIndex {
+				rep.failf("opening (%d,%d,%d) hot index mislabeled", o.Serial, o.Part, o.Row)
+			}
+		}
+		rep.OpeningsChecked++
+	}
+
+	// (e) ZK proofs on used parts, under the voter-coin challenge.
+	provenRows := make(map[[3]uint64]bool, len(result.Proofs))
+	for _, p := range result.Proofs {
+		if p.Serial == 0 || p.Serial > uint64(man.NumBallots) || p.Part > 1 || p.Row >= m || p.Row < 0 || len(p.Bits) != m {
+			rep.failf("proof with invalid coordinates (%d,%d,%d)", p.Serial, p.Part, p.Row)
+			continue
+		}
+		row := init.Ballots[p.Serial-1].Parts[p.Part][p.Row]
+		for col := 0; col < m; col++ {
+			c := zkp.DeriveChallenge(master, p.Serial, p.Part, p.Row, col)
+			if !zkp.VerifyBit(ck, row.Commitment[col], row.BitCommits[col], p.Bits[col], c) {
+				rep.failf("bit proof (%d,%d,%d) col %d invalid", p.Serial, p.Part, p.Row, col)
+			}
+			rep.ProofsChecked++
+		}
+		c := zkp.DeriveChallenge(master, p.Serial, p.Part, p.Row, zkp.SumProofCol)
+		if !zkp.VerifySum(ck, row.Commitment, 1, row.SumCommit, p.Sum, c) {
+			rep.failf("sum proof (%d,%d,%d) invalid", p.Serial, p.Part, p.Row)
+		}
+		rep.ProofsChecked++
+		provenRows[[3]uint64{p.Serial, uint64(p.Part), uint64(p.Row)}] = true
+	}
+	// Completeness: every row of every used part must carry proofs, every
+	// other row must be opened.
+	openedRows := make(map[[3]uint64]bool, len(result.Openings))
+	for _, o := range result.Openings {
+		openedRows[[3]uint64{o.Serial, uint64(o.Part), uint64(o.Row)}] = true
+	}
+	usedPart := make(map[uint64]uint8, len(used))
+	for serial, u := range used {
+		for part := range u.parts {
+			usedPart[serial] = part
+		}
+	}
+	for serial := uint64(1); serial <= uint64(man.NumBallots); serial++ {
+		up, voted := usedPart[serial]
+		for part := uint8(0); part < 2; part++ {
+			for row := 0; row < m; row++ {
+				k := [3]uint64{serial, uint64(part), uint64(row)}
+				if voted && part == up {
+					if !provenRows[k] {
+						rep.failf("used part (%d,%d,%d) lacks a completed proof", serial, part, row)
+					}
+				} else if !openedRows[k] {
+					rep.failf("audit row (%d,%d,%d) was not opened", serial, part, row)
+				}
+			}
+		}
+	}
+
+	// Tally: published counts must open the homomorphic sum of exactly the
+	// cast commitments.
+	auditTally(rep, &man, init, cast, result)
+
+	// (f)+(g): delegated voter checks.
+	for _, pkg := range packages {
+		rep.DelegatedChecks++
+		if pkg.CastCode != nil {
+			found := false
+			for _, vb := range voteSet {
+				if vb.Serial == pkg.Serial && votecode.Equal(vb.Code, pkg.CastCode) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				rep.failf("delegated: ballot %d cast code missing from tally set", pkg.Serial)
+			}
+		}
+		if err := voter.VerifyUnusedPart(reader, pkg); err != nil {
+			rep.failf("delegated: ballot %d unused part: %v", pkg.Serial, err)
+		}
+	}
+	return rep, nil
+}
+
+// auditTally recomputes the homomorphic sum of the cast commitments and
+// verifies the published opening and counts.
+func auditTally(rep *Report, man *ea.Manifest, init *ea.BBInit, cast *bb.CastData, result *bb.Result) {
+	m := len(man.Options)
+	ck := man.CommitmentKey()
+	var sum elgamal.VectorCiphertext
+	for _, mk := range cast.Marks {
+		ct := init.Ballots[mk.Serial-1].Parts[mk.Part][mk.Row].Commitment
+		if sum == nil {
+			sum = append(elgamal.VectorCiphertext(nil), ct...)
+			continue
+		}
+		var err error
+		if sum, err = sum.Add(ct); err != nil {
+			rep.failf("tally: %v", err)
+			return
+		}
+	}
+	if sum == nil {
+		for _, c := range result.Counts {
+			if c != 0 {
+				rep.failf("tally: votes reported but none cast")
+			}
+		}
+		return
+	}
+	if len(result.TallyMs) != m || len(result.TallyRs) != m || len(result.Counts) != m {
+		rep.failf("tally: wrong arity")
+		return
+	}
+	for j := 0; j < m; j++ {
+		if !ck.VerifyOpening(sum[j], result.TallyMs[j], result.TallyRs[j]) {
+			rep.failf("tally: opening for option %d does not match the homomorphic sum", j)
+		}
+		if result.TallyMs[j].Cmp(big.NewInt(result.Counts[j])) != 0 {
+			rep.failf("tally: published count %d != opened value for option %d", result.Counts[j], j)
+		}
+	}
+}

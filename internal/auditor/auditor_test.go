@@ -1,0 +1,169 @@
+package auditor_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ddemos/internal/auditor"
+	"ddemos/internal/ballot"
+	"ddemos/internal/core"
+	"ddemos/internal/ea"
+	"ddemos/internal/voter"
+)
+
+// election runs a small full election and returns everything an auditor
+// needs, plus the voters' results for delegation.
+func election(t *testing.T, votes []int) (*core.Cluster, *ea.ElectionData, []*voter.CastResult) {
+	t.Helper()
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "audit-test",
+		Options:     []string{"red", "blue"},
+		NumBallots:  len(votes),
+		NumVC:       4,
+		NumBB:       3,
+		NumTrustees: 3,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("audit-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := core.NewCluster(data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	services := make([]voter.Service, len(cluster.VCs))
+	for i, n := range cluster.VCs {
+		services[i] = n
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results := make([]*voter.CastResult, len(votes))
+	for i, opt := range votes {
+		if opt < 0 {
+			continue
+		}
+		cl := &voter.Client{Ballot: data.Ballots[i], Services: services, Patience: 10 * time.Second}
+		res, err := cl.Cast(ctx, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	if _, err := cluster.RunPipeline(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return cluster, data, results
+}
+
+func TestCleanElectionAudits(t *testing.T) {
+	cluster, data, results := election(t, []int{0, 1, 0, -1})
+	var pkgs []*ballot.AuditPackage
+	for i, res := range results {
+		cl := &voter.Client{Ballot: data.Ballots[i]}
+		pkg, err := cl.AuditPackage(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	rep, err := auditor.Audit(cluster.Reader, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean election failed audit: %v", rep.Failures)
+	}
+	if rep.BallotsChecked != 4 || rep.DelegatedChecks != 4 {
+		t.Fatalf("coverage: %+v", rep)
+	}
+	if rep.ProofsChecked == 0 || rep.OpeningsChecked == 0 {
+		t.Fatal("no proofs/openings checked")
+	}
+}
+
+func TestDetectsModificationAttack(t *testing.T) {
+	// Malicious EA prints a ballot whose options are swapped relative to the
+	// BB commitments. The victim's delegated package must fail the audit.
+	cluster, data, _ := election(t, []int{-1, 1})
+	victim := data.Ballots[0]
+	lines := victim.Parts[ballot.PartA].Lines
+	lines[0].Option, lines[1].Option = lines[1].Option, lines[0].Option
+
+	pkg := victim.AbstainAuditPackage() // part A is handed to the auditor
+	rep, err := auditor.Audit(cluster.Reader, []*ballot.AuditPackage{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("modification attack not detected")
+	}
+}
+
+func TestDetectsWrongCastCodeClaim(t *testing.T) {
+	// A voter claims a cast code that is not in the tally set: the
+	// delegated check (f) must flag it.
+	cluster, data, results := election(t, []int{0, -1})
+	cl := &voter.Client{Ballot: data.Ballots[0]}
+	pkg, err := cl.AuditPackage(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.CastCode = append([]byte(nil), pkg.CastCode...)
+	pkg.CastCode[0] ^= 0xFF
+	rep, err := auditor.Audit(cluster.Reader, []*ballot.AuditPackage{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing cast code not detected")
+	}
+}
+
+func TestDetectsLyingMinorityTransparently(t *testing.T) {
+	// One lying BB of three: the majority reader hides it, audit passes.
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "audit-liar",
+		Options:     []string{"red", "blue"},
+		NumBallots:  2,
+		NumVC:       4,
+		NumBB:       3,
+		NumTrustees: 3,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("audit-liar"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := core.NewCluster(data, core.Options{LyingBB: map[int]bool{0: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	services := make([]voter.Service, len(cluster.VCs))
+	for i, n := range cluster.VCs {
+		services[i] = n
+	}
+	cl := &voter.Client{Ballot: data.Ballots[0], Services: services, Patience: 10 * time.Second}
+	if _, err := cl.Cast(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.RunPipeline(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := auditor.Audit(cluster.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("audit failed despite honest majority: %v", rep.Failures)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ballot defines the paper-faithful ballot model (§III-D): each
+// voter receives a ballot with a unique 64-bit serial number and two
+// functionally equivalent parts A and B; each part holds one
+// ⟨vote-code, option, receipt⟩ line per election option. The part not used
+// for voting becomes audit material.
+package ballot
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// PartID identifies one of the two ballot parts.
+type PartID uint8
+
+// The two ballot parts. Their byte values double as the voter "coins" that
+// seed the zero-knowledge challenge (§III-B).
+const (
+	PartA PartID = 0
+	PartB PartID = 1
+)
+
+// String implements fmt.Stringer.
+func (p PartID) String() string {
+	switch p {
+	case PartA:
+		return "A"
+	case PartB:
+		return "B"
+	default:
+		return fmt.Sprintf("PartID(%d)", uint8(p))
+	}
+}
+
+// Other returns the opposite part.
+func (p PartID) Other() PartID { return 1 - p }
+
+// Valid reports whether p is A or B.
+func (p PartID) Valid() bool { return p == PartA || p == PartB }
+
+// Line is one ⟨vote-code, option, receipt⟩ tuple of a ballot part.
+type Line struct {
+	VoteCode []byte // 160-bit random code, unique within the ballot
+	Option   string // human-readable option this line votes for
+	Receipt  []byte // 64-bit receipt returned on successful vote
+}
+
+// Part is one of the two halves of a ballot.
+type Part struct {
+	Lines []Line
+}
+
+// Ballot is the complete ballot a voter receives from the Election
+// Authority over the (out-of-scope) secure distribution channel.
+type Ballot struct {
+	Serial uint64
+	Parts  [2]Part
+}
+
+// ErrNoSuchOption is returned when an option name is not on the ballot.
+var ErrNoSuchOption = errors.New("ballot: no such option")
+
+// CodeFor returns the vote code on the given part for the option with the
+// given index.
+func (b *Ballot) CodeFor(part PartID, optionIndex int) ([]byte, error) {
+	if !part.Valid() {
+		return nil, fmt.Errorf("ballot: invalid part %d", part)
+	}
+	lines := b.Parts[part].Lines
+	if optionIndex < 0 || optionIndex >= len(lines) {
+		return nil, fmt.Errorf("ballot: option index %d out of range [0,%d)", optionIndex, len(lines))
+	}
+	return lines[optionIndex].VoteCode, nil
+}
+
+// LineByCode finds the line carrying the given vote code, returning the part
+// and option index, or ok=false.
+func (b *Ballot) LineByCode(code []byte) (part PartID, optionIndex int, ok bool) {
+	for p := PartA; p <= PartB; p++ {
+		for i, l := range b.Parts[p].Lines {
+			if hex.EncodeToString(l.VoteCode) == hex.EncodeToString(code) {
+				return p, i, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// AuditPackage is the information a voter hands to a third-party auditor to
+// delegate verification without revealing her vote (§III-F): the cast vote
+// code (which does not reveal the choice) and the complete unused part.
+type AuditPackage struct {
+	Serial       uint64
+	CastCode     []byte // the code submitted for voting; nil if the voter abstained
+	UsedPart     PartID // which part was used (meaningful only if CastCode != nil)
+	UnusedPart   Part   // full content of the part not used
+	UnusedPartID PartID
+}
+
+// NewAuditPackage builds the delegation package after a successful vote.
+func (b *Ballot) NewAuditPackage(used PartID, castCode []byte) (*AuditPackage, error) {
+	if !used.Valid() {
+		return nil, fmt.Errorf("ballot: invalid part %d", used)
+	}
+	return &AuditPackage{
+		Serial:       b.Serial,
+		CastCode:     castCode,
+		UsedPart:     used,
+		UnusedPart:   clonePart(b.Parts[used.Other()]),
+		UnusedPartID: used.Other(),
+	}, nil
+}
+
+// AbstainAuditPackage builds an audit package for a voter who did not vote:
+// both parts should be opened on the BB, and she may audit either. We hand
+// over part A by convention.
+func (b *Ballot) AbstainAuditPackage() *AuditPackage {
+	return &AuditPackage{
+		Serial:       b.Serial,
+		UnusedPart:   clonePart(b.Parts[PartA]),
+		UnusedPartID: PartA,
+	}
+}
+
+func clonePart(p Part) Part {
+	out := Part{Lines: make([]Line, len(p.Lines))}
+	for i, l := range p.Lines {
+		out.Lines[i] = Line{
+			VoteCode: append([]byte(nil), l.VoteCode...),
+			Option:   l.Option,
+			Receipt:  append([]byte(nil), l.Receipt...),
+		}
+	}
+	return out
+}
+
+// FormatCode renders a vote code the way it would be printed on a paper
+// ballot (hex).
+func FormatCode(code []byte) string { return hex.EncodeToString(code) }
+
+// ParseCode parses a printed vote code.
+func ParseCode(s string) ([]byte, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("ballot: invalid vote code: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,115 @@
+package ballot
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sample() *Ballot {
+	mk := func(b byte) []byte { return bytes.Repeat([]byte{b}, 20) }
+	return &Ballot{
+		Serial: 7,
+		Parts: [2]Part{
+			{Lines: []Line{
+				{VoteCode: mk(1), Option: "yes", Receipt: []byte{1, 1, 1, 1, 1, 1, 1, 1}},
+				{VoteCode: mk(2), Option: "no", Receipt: []byte{2, 2, 2, 2, 2, 2, 2, 2}},
+			}},
+			{Lines: []Line{
+				{VoteCode: mk(3), Option: "yes", Receipt: []byte{3, 3, 3, 3, 3, 3, 3, 3}},
+				{VoteCode: mk(4), Option: "no", Receipt: []byte{4, 4, 4, 4, 4, 4, 4, 4}},
+			}},
+		},
+	}
+}
+
+func TestPartID(t *testing.T) {
+	if PartA.Other() != PartB || PartB.Other() != PartA {
+		t.Fatal("Other() broken")
+	}
+	if !PartA.Valid() || !PartB.Valid() || PartID(2).Valid() {
+		t.Fatal("Valid() broken")
+	}
+	if PartA.String() != "A" || PartB.String() != "B" || PartID(9).String() == "" {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestCodeFor(t *testing.T) {
+	b := sample()
+	code, err := b.CodeFor(PartB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0] != 4 {
+		t.Fatalf("wrong code %x", code)
+	}
+	if _, err := b.CodeFor(PartID(5), 0); err == nil {
+		t.Fatal("invalid part must fail")
+	}
+	if _, err := b.CodeFor(PartA, 2); err == nil {
+		t.Fatal("out-of-range option must fail")
+	}
+	if _, err := b.CodeFor(PartA, -1); err == nil {
+		t.Fatal("negative option must fail")
+	}
+}
+
+func TestLineByCode(t *testing.T) {
+	b := sample()
+	part, idx, ok := b.LineByCode(bytes.Repeat([]byte{3}, 20))
+	if !ok || part != PartB || idx != 0 {
+		t.Fatalf("got part=%v idx=%d ok=%v", part, idx, ok)
+	}
+	if _, _, ok := b.LineByCode(bytes.Repeat([]byte{9}, 20)); ok {
+		t.Fatal("unknown code must not be found")
+	}
+}
+
+func TestAuditPackage(t *testing.T) {
+	b := sample()
+	cast, _ := b.CodeFor(PartA, 0)
+	pkg, err := b.NewAuditPackage(PartA, cast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Serial != 7 || pkg.UsedPart != PartA || pkg.UnusedPartID != PartB {
+		t.Fatal("package metadata wrong")
+	}
+	if len(pkg.UnusedPart.Lines) != 2 || pkg.UnusedPart.Lines[0].VoteCode[0] != 3 {
+		t.Fatal("unused part content wrong")
+	}
+	// The clone must be independent of the ballot.
+	pkg.UnusedPart.Lines[0].VoteCode[0] = 99
+	if b.Parts[PartB].Lines[0].VoteCode[0] == 99 {
+		t.Fatal("audit package aliases ballot memory")
+	}
+	if _, err := b.NewAuditPackage(PartID(9), cast); err == nil {
+		t.Fatal("invalid part must fail")
+	}
+}
+
+func TestAbstainAuditPackage(t *testing.T) {
+	b := sample()
+	pkg := b.AbstainAuditPackage()
+	if pkg.CastCode != nil {
+		t.Fatal("abstain package must have no cast code")
+	}
+	if pkg.UnusedPartID != PartA || len(pkg.UnusedPart.Lines) != 2 {
+		t.Fatal("abstain package content wrong")
+	}
+}
+
+func TestFormatParseCode(t *testing.T) {
+	code := bytes.Repeat([]byte{0xab}, 20)
+	s := FormatCode(code)
+	got, err := ParseCode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, code) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := ParseCode("zz"); err == nil {
+		t.Fatal("invalid hex must fail")
+	}
+}

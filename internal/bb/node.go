@@ -1,0 +1,312 @@
+// Package bb implements the Bulletin Board subsystem (§III-G): a replicated
+// service of isolated nodes that never talk to each other. Each node
+// publishes its initialization data immediately, stays inert during
+// election hours, accepts the final vote set once fv+1 identical copies
+// arrive from VC nodes, reconstructs the vote-code master key from Nv-fv
+// EA-signed shares, decrypts and publishes the cast vote codes, and finally
+// combines ht trustee posts into the opened audit data, the completed
+// zero-knowledge proofs and the election tally.
+//
+// Readers are expected to query all BB nodes and accept the answer returned
+// by fb+1 of them; Reader automates that (the paper's Firefox extension).
+package bb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"ddemos/internal/crypto/shamir"
+	"ddemos/internal/crypto/votecode"
+	"ddemos/internal/ea"
+	"ddemos/internal/vc"
+)
+
+// Errors returned by BB write paths.
+var (
+	// ErrNotReady is returned when reading a value not yet published.
+	ErrNotReady = errors.New("bb: not published yet")
+	// ErrBadSubmission is returned for invalid writes.
+	ErrBadSubmission = errors.New("bb: invalid submission")
+)
+
+// CastMark locates one cast vote code on the shuffled BB lists.
+type CastMark struct {
+	Serial uint64
+	Part   uint8
+	Row    int
+}
+
+// CastData is everything published once the vote set is agreed and the
+// master key reconstructed: the set itself, the decrypted per-row codes,
+// the positions of the cast codes, and the voters' coins (the A/B choices
+// in serial order) that seed the ZK challenge.
+type CastData struct {
+	VoteSet []vc.VotedBallot
+	// Codes[serial-1][part][row] is the decrypted vote code.
+	Codes [][2][][]byte
+	Marks []CastMark
+	Coins []byte
+}
+
+// Node is one Bulletin Board replica.
+type Node struct {
+	init *ea.BBInit
+
+	mu         sync.Mutex
+	setSubs    map[int][]vc.VotedBallot // per VC index, signature-verified
+	voteSet    []vc.VotedBallot
+	haveSet    bool
+	mskShares  map[uint32]*big.Int
+	msk        []byte
+	cast       *CastData
+	posts      map[int]*TrusteePost
+	badPosts   map[int]bool // posts that failed a combination attempt
+	result     *Result
+	resultOnce bool
+
+	// Lying simulates a Byzantine BB node: reads return corrupted data.
+	// Writes are processed normally so the rest of the pipeline proceeds.
+	Lying bool
+}
+
+// NewNode boots a BB replica from its initialization data (published
+// immediately by definition).
+func NewNode(init *ea.BBInit) (*Node, error) {
+	if init == nil {
+		return nil, errors.New("bb: missing init data")
+	}
+	return &Node{
+		init:      init,
+		setSubs:   make(map[int][]vc.VotedBallot),
+		mskShares: make(map[uint32]*big.Int),
+		posts:     make(map[int]*TrusteePost),
+		badPosts:  make(map[int]bool),
+	}, nil
+}
+
+// Manifest returns the public election description.
+func (n *Node) Manifest() (ea.Manifest, error) {
+	if n.Lying {
+		m := n.init.Manifest
+		m.ElectionID += "-forged"
+		return m, nil
+	}
+	return n.init.Manifest, nil
+}
+
+// Init returns the full initialization data (commitments, encrypted codes,
+// proof first moves) for verification by auditors.
+func (n *Node) Init() (*ea.BBInit, error) {
+	if n.Lying {
+		forged := *n.init
+		forged.SaltMsk[0] ^= 0xff
+		return &forged, nil
+	}
+	return n.init, nil
+}
+
+// SubmitVoteSet records one VC node's final vote set. The set is accepted
+// and published once fv+1 identical copies arrive (§III-G).
+func (n *Node) SubmitVoteSet(vcIndex int, set []vc.VotedBallot, sigBytes []byte) error {
+	man := &n.init.Manifest
+	if vcIndex < 0 || vcIndex >= man.NumVC {
+		return fmt.Errorf("%w: vc index %d", ErrBadSubmission, vcIndex)
+	}
+	if !vc.VerifyVoteSetSig(man, vcIndex, set, sigBytes) {
+		return fmt.Errorf("%w: bad vote set signature from vc %d", ErrBadSubmission, vcIndex)
+	}
+	for i := range set {
+		if set[i].Serial == 0 || set[i].Serial > uint64(man.NumBallots) {
+			return fmt.Errorf("%w: serial %d out of range", ErrBadSubmission, set[i].Serial)
+		}
+		if i > 0 && set[i].Serial <= set[i-1].Serial {
+			return fmt.Errorf("%w: vote set not sorted", ErrBadSubmission)
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.setSubs[vcIndex] = set
+	if n.haveSet {
+		return nil
+	}
+	// Count identical submissions.
+	need := man.FaultyVC() + 1
+	count := 0
+	for _, other := range n.setSubs {
+		if voteSetsEqual(set, other) {
+			count++
+		}
+	}
+	if count >= need {
+		n.voteSet = set
+		n.haveSet = true
+		n.maybePublishCastLocked()
+	}
+	return nil
+}
+
+func voteSetsEqual(a, b []vc.VotedBallot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Serial != b[i].Serial || !bytes.Equal(a[i].Code, b[i].Code) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubmitMskShare records one VC node's master-key share; with Nv-fv valid
+// shares the key is reconstructed and verified against H_msk.
+func (n *Node) SubmitMskShare(share ea.MskShare) error {
+	man := &n.init.Manifest
+	s := shamir.Share{Index: share.Index, Value: share.Value}
+	if share.Index == 0 || int(share.Index) > man.NumVC ||
+		!ea.VerifyMskShare(man.EAPublic, share.Sig, man.ElectionID, s) {
+		return fmt.Errorf("%w: bad msk share", ErrBadSubmission)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.msk != nil {
+		return nil
+	}
+	n.mskShares[share.Index] = share.Value
+	hv := man.ReceiptThreshold()
+	if len(n.mskShares) < hv {
+		return nil
+	}
+	shares := make([]shamir.Share, 0, hv)
+	for idx, v := range n.mskShares {
+		shares = append(shares, shamir.Share{Index: idx, Value: v})
+		if len(shares) == hv {
+			break
+		}
+	}
+	secret, err := shamir.Combine(shares, hv)
+	if err != nil {
+		return nil //nolint:nilerr // wait for more shares
+	}
+	msk, err := shamir.ScalarToSecret(secret)
+	if err != nil || len(msk) != votecode.KeySize {
+		return nil //nolint:nilerr // wait for more shares
+	}
+	if !votecode.VerifyKey(n.init.HMsk, msk, n.init.SaltMsk[:]) {
+		return nil // combination failed H_msk; more shares may fix it
+	}
+	n.msk = msk
+	n.maybePublishCastLocked()
+	return nil
+}
+
+// maybePublishCastLocked decrypts all vote codes and locates the cast ones
+// once both the vote set and the master key are available.
+func (n *Node) maybePublishCastLocked() {
+	if n.cast != nil || !n.haveSet || n.msk == nil {
+		return
+	}
+	man := &n.init.Manifest
+	cast := &CastData{
+		VoteSet: n.voteSet,
+		Codes:   make([][2][][]byte, man.NumBallots),
+	}
+	type loc struct {
+		part uint8
+		row  int
+	}
+	index := make(map[uint64]map[string]loc, man.NumBallots)
+	for i := range n.init.Ballots {
+		bbb := &n.init.Ballots[i]
+		perBallot := make(map[string]loc, 2*len(bbb.Parts[0]))
+		for part := 0; part < 2; part++ {
+			rows := make([][]byte, len(bbb.Parts[part]))
+			for row := range bbb.Parts[part] {
+				code, err := votecode.Decrypt(n.msk, bbb.Parts[part][row].EncCode)
+				if err != nil {
+					continue // corrupt row: skip; auditors will notice
+				}
+				rows[row] = code
+				perBallot[string(code)] = loc{part: uint8(part), row: row} //nolint:gosec // part<2
+			}
+			cast.Codes[i][part] = rows
+		}
+		index[bbb.Serial] = perBallot
+	}
+	for _, vb := range cast.VoteSet {
+		l, ok := index[vb.Serial][string(vb.Code)]
+		if !ok {
+			continue // cast code not on this ballot: auditors will flag it
+		}
+		cast.Marks = append(cast.Marks, CastMark{Serial: vb.Serial, Part: l.part, Row: l.row})
+		cast.Coins = append(cast.Coins, l.part)
+	}
+	sort.Slice(cast.Marks, func(i, j int) bool { return cast.Marks[i].Serial < cast.Marks[j].Serial })
+	n.cast = cast
+}
+
+// VoteSet returns the agreed vote set once published.
+func (n *Node) VoteSet() ([]vc.VotedBallot, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.haveSet {
+		return nil, ErrNotReady
+	}
+	if n.Lying {
+		// Drop the last vote — exactly the attack majority reads defeat.
+		if len(n.voteSet) > 0 {
+			return n.voteSet[:len(n.voteSet)-1], nil
+		}
+		return []vc.VotedBallot{{Serial: 1, Code: []byte("forged")}}, nil
+	}
+	return n.voteSet, nil
+}
+
+// Cast returns the published cast data (decrypted codes, marks, coins).
+func (n *Node) Cast() (*CastData, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cast == nil {
+		return nil, ErrNotReady
+	}
+	if n.Lying {
+		forged := *n.cast
+		forged.Coins = append([]byte(nil), n.cast.Coins...)
+		for i := range forged.Coins {
+			forged.Coins[i] = 1 - forged.Coins[i]
+		}
+		return &forged, nil
+	}
+	return n.cast, nil
+}
+
+// Result returns the final published result once trustees have posted.
+func (n *Node) Result() (*Result, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.result == nil {
+		return nil, ErrNotReady
+	}
+	if n.Lying {
+		forged := *n.result
+		forged.Counts = append([]int64(nil), n.result.Counts...)
+		if len(forged.Counts) > 1 {
+			forged.Counts[0], forged.Counts[1] = forged.Counts[1], forged.Counts[0]
+		}
+		return &forged, nil
+	}
+	return n.result, nil
+}
+
+// ballotVoted reports whether (and where) a ballot was voted, from the
+// published cast marks. Used by the tally combination.
+func (c *CastData) marksBySerial() map[uint64][]CastMark {
+	out := make(map[uint64][]CastMark, len(c.Marks))
+	for _, m := range c.Marks {
+		out[m.Serial] = append(out[m.Serial], m)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package bb
+
+import (
+	"errors"
+	"reflect"
+
+	"ddemos/internal/ea"
+	"ddemos/internal/vc"
+)
+
+// API is the Bulletin Board read interface, implemented by local nodes and
+// by the HTTP client in cmd/. All methods are read-only and anonymous.
+type API interface {
+	Manifest() (ea.Manifest, error)
+	Init() (*ea.BBInit, error)
+	VoteSet() ([]vc.VotedBallot, error)
+	Cast() (*CastData, error)
+	Result() (*Result, error)
+}
+
+var _ API = (*Node)(nil)
+
+// ErrNoMajority is returned when fewer than fb+1 BB nodes agree.
+var ErrNoMajority = errors.New("bb: no majority among replies")
+
+// Reader queries all BB nodes and returns the answer backed by at least
+// fb+1 of them — the paper's replicated-service reader (§V implemented it
+// as a Firefox extension; here it is a library any client embeds). Because
+// at most fb nodes are Byzantine and honest nodes only ever serve correct
+// (possibly stale) data, fb+1 identical replies are necessarily correct.
+type Reader struct {
+	nodes []API
+	need  int
+}
+
+// NewReader builds a majority reader over the given replicas.
+func NewReader(nodes []API) *Reader {
+	fb := (len(nodes) - 1) / 2
+	return &Reader{nodes: nodes, need: fb + 1}
+}
+
+// majority returns the first reply that gathers `need` matches.
+func majority[T any](r *Reader, fetch func(API) (T, error)) (T, error) {
+	var zero T
+	type bucket struct {
+		val   T
+		count int
+	}
+	var buckets []bucket
+	for _, n := range r.nodes {
+		v, err := fetch(n)
+		if err != nil {
+			continue
+		}
+		matched := false
+		for i := range buckets {
+			if reflect.DeepEqual(buckets[i].val, v) {
+				buckets[i].count++
+				matched = true
+				if buckets[i].count >= r.need {
+					return buckets[i].val, nil
+				}
+				break
+			}
+		}
+		if !matched {
+			if r.need == 1 {
+				return v, nil
+			}
+			buckets = append(buckets, bucket{val: v, count: 1})
+		}
+	}
+	return zero, ErrNoMajority
+}
+
+// Manifest reads the election manifest by majority.
+func (r *Reader) Manifest() (ea.Manifest, error) {
+	return majority(r, API.Manifest)
+}
+
+// Init reads the full initialization data by majority.
+func (r *Reader) Init() (*ea.BBInit, error) {
+	return majority(r, API.Init)
+}
+
+// VoteSet reads the agreed vote set by majority.
+func (r *Reader) VoteSet() ([]vc.VotedBallot, error) {
+	return majority(r, API.VoteSet)
+}
+
+// Cast reads the published cast data by majority.
+func (r *Reader) Cast() (*CastData, error) {
+	return majority(r, API.Cast)
+}
+
+// Result reads the final result by majority.
+func (r *Reader) Result() (*Result, error) {
+	return majority(r, API.Result)
+}

@@ -1,0 +1,28 @@
+package benchmark
+
+import "testing"
+
+func TestSmokeRun(t *testing.T) {
+	res, err := Run(Config{Ballots: 200, Options: 2, VC: 4, Clients: 20, Votes: 200, Seed: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tput=%.1f lat=%v errors=%d setup=%v", res.Throughput, res.AvgLatency, res.Errors, res.SetupTime)
+	if res.Errors > 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+}
+func TestSmokePhases(t *testing.T) {
+	res, err := RunPhases(PhasesConfig{Ballots: 60, Options: 3, VC: 4, Clients: 10, Seed: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("collect=%v consensus=%v push=%v publish=%v counts=%v", res.Collection, res.Consensus, res.Push, res.Publish, res.Counts)
+}
+func TestSmokeAblation(t *testing.T) {
+	res, err := RunAblation(100, 10, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ddemos=%.1f/%v smr=%.1f/%v", res.DDemosThroughput, res.DDemosLatency, res.SMRThroughput, res.SMRLatency)
+}

@@ -1,0 +1,54 @@
+// Package clock abstracts wall-clock access. The paper's only timing
+// assumption outside liveness analysis is that VC nodes know the election
+// start and end times (§III-C); making the clock injectable lets tests and
+// the simulator drive election phases deterministically.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real reads the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Fake is a manually advanced clock for tests and simulations. The zero
+// value starts at the zero time; use NewFake to start elsewhere.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a fake clock set to start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// Set jumps the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = t
+}

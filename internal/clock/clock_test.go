@@ -1,0 +1,50 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	var c Real
+	t1 := c.Now()
+	t2 := c.Now()
+	if t2.Before(t1) {
+		t.Fatal("real clock went backwards")
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatal("fake clock not at start time")
+	}
+	f.Advance(time.Hour)
+	if !f.Now().Equal(start.Add(time.Hour)) {
+		t.Fatal("Advance did not move the clock")
+	}
+	jump := start.Add(48 * time.Hour)
+	f.Set(jump)
+	if !f.Now().Equal(jump) {
+		t.Fatal("Set did not jump the clock")
+	}
+}
+
+func TestFakeClockConcurrentAccess(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			f.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = f.Now()
+	}
+	<-done
+	if f.Now().Sub(time.Unix(0, 0)) != time.Second {
+		t.Fatal("concurrent advances lost updates")
+	}
+}

@@ -1,0 +1,341 @@
+// Package core wires all subsystems into a runnable election: Nv Vote
+// Collector nodes over the (simulated or real) network, Nb Bulletin Board
+// replicas, Nt trustees, and the phase sequencing of the full pipeline —
+// vote collection, vote-set consensus, push-to-BB with encrypted tally, and
+// result publication (the four phases of the paper's Fig. 5c).
+//
+// The cluster is also the fault-injection surface: any VC node can be
+// crashed or made Byzantine, any BB node can lie to readers, any trustee
+// can post garbage — each exercising one threshold of the threat model
+// (§III-C).
+package core
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/clock"
+	"ddemos/internal/consensus"
+	"ddemos/internal/ea"
+	"ddemos/internal/store"
+	"ddemos/internal/transport"
+	"ddemos/internal/trustee"
+	"ddemos/internal/vc"
+)
+
+// Options configures cluster construction.
+type Options struct {
+	// Network defaults to a fresh LAN-profile Memnet.
+	Network *transport.Memnet
+	// LinkProfile overrides the default profile of a fresh network
+	// (ignored when Network is provided).
+	LinkProfile *transport.LinkProfile
+	// Clock defaults to a fake clock set inside the voting window, letting
+	// the caller drive phases; pass clock.Real{} for wall-clock elections.
+	Clock clock.Clock
+	// Authenticated wraps inter-VC channels with Ed25519 signing (the
+	// paper's authenticated channels). Costs one sign+verify per message.
+	Authenticated bool
+	// VCByzantine assigns fault modes to VC nodes by index.
+	VCByzantine map[int]vc.Byzantine
+	// LyingBB marks BB nodes (by index) that serve corrupted reads.
+	LyingBB map[int]bool
+	// ByzantineTrustees marks trustees (by index) that post garbage shares.
+	ByzantineTrustees map[int]trustee.Byzantine
+	// Stores optionally supplies a custom ballot store per VC node index
+	// (e.g. the disk store for the Fig. 5a experiment).
+	Stores map[int]store.Store
+	// Workers sizes each VC node's message-processing pool.
+	Workers int
+}
+
+// Cluster is a fully wired in-process election deployment.
+type Cluster struct {
+	Data     *ea.ElectionData
+	Net      *transport.Memnet
+	Clock    clock.Clock
+	VCs      []*vc.Node
+	BBs      []*bb.Node
+	Trustees []*trustee.Trustee
+	Reader   *bb.Reader
+
+	fake *clock.Fake
+
+	// PhaseDurations records the measured wall time of each completed
+	// phase, keyed by phase name (Fig. 5c).
+	phaseMu        sync.Mutex
+	PhaseDurations map[string]time.Duration
+}
+
+// Phase names for PhaseDurations (the series of Fig. 5c).
+const (
+	PhaseVoteCollection   = "vote collection"
+	PhaseVoteSetConsensus = "vote set consensus"
+	PhasePushAndTally     = "push to BB and encrypted tally"
+	PhasePublishResult    = "publish result"
+)
+
+// NewCluster boots all components from setup data.
+func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
+	if data == nil {
+		return nil, errors.New("core: missing election data")
+	}
+	c := &Cluster{
+		Data:           data,
+		PhaseDurations: make(map[string]time.Duration),
+	}
+	c.Net = opts.Network
+	if c.Net == nil {
+		lp := transport.LANProfile
+		if opts.LinkProfile != nil {
+			lp = *opts.LinkProfile
+		}
+		c.Net = transport.NewMemnet(lp)
+	}
+	c.Clock = opts.Clock
+	if c.Clock == nil {
+		fake := clock.NewFake(data.Manifest.VotingStart.Add(time.Minute))
+		c.Clock = fake
+		c.fake = fake
+	} else if f, ok := c.Clock.(*clock.Fake); ok {
+		c.fake = f
+	}
+
+	// VC nodes.
+	man := data.Manifest
+	for i := 0; i < man.NumVC; i++ {
+		var ep transport.Endpoint = c.Net.Endpoint(transport.NodeID(i)) //nolint:gosec // <=64
+		if opts.Authenticated {
+			pubs := make(map[transport.NodeID]ed25519.PublicKey, man.NumVC)
+			for j, p := range man.VCPublics {
+				pubs[transport.NodeID(j)] = p //nolint:gosec // <=64
+			}
+			ep = transport.NewSigned(ep, data.VC[i].Private, pubs)
+		}
+		node, err := vc.New(vc.Config{
+			Init:      data.VC[i],
+			Store:     opts.Stores[i],
+			Endpoint:  ep,
+			Clock:     c.Clock,
+			Coin:      consensus.NewHashCoin([]byte(man.ElectionID)),
+			Byzantine: opts.VCByzantine[i],
+			Workers:   opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: building vc %d: %w", i, err)
+		}
+		node.Start()
+		c.VCs = append(c.VCs, node)
+	}
+
+	// BB nodes (skipped in VC-only setups).
+	if data.BB != nil {
+		for i := 0; i < man.NumBB; i++ {
+			node, err := bb.NewNode(data.BB)
+			if err != nil {
+				return nil, fmt.Errorf("core: building bb %d: %w", i, err)
+			}
+			node.Lying = opts.LyingBB[i]
+			c.BBs = append(c.BBs, node)
+		}
+		apis := make([]bb.API, len(c.BBs))
+		for i, n := range c.BBs {
+			apis[i] = n
+		}
+		c.Reader = bb.NewReader(apis)
+		for i := 0; i < man.NumTrustees; i++ {
+			tr, err := trustee.New(data.Trustees[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: building trustee %d: %w", i, err)
+			}
+			if mode, ok := opts.ByzantineTrustees[i]; ok {
+				tr.SetByzantine(mode)
+			}
+			c.Trustees = append(c.Trustees, tr)
+		}
+	}
+	return c, nil
+}
+
+// Stop shuts everything down.
+func (c *Cluster) Stop() {
+	for _, n := range c.VCs {
+		n.Stop()
+	}
+	_ = c.Net.Close()
+}
+
+// CrashVC isolates a VC node from the network (crash fault).
+func (c *Cluster) CrashVC(index int) {
+	c.Net.Isolate(transport.NodeID(index), true) //nolint:gosec // <=64
+}
+
+// RestoreVC reconnects a previously crashed VC node.
+func (c *Cluster) RestoreVC(index int) {
+	c.Net.Isolate(transport.NodeID(index), false) //nolint:gosec // <=64
+}
+
+// ClosePolls advances the fake clock past the election end (no-op with a
+// real clock — callers then wait for the real end time).
+func (c *Cluster) ClosePolls() {
+	if c.fake != nil {
+		c.fake.Set(c.Data.Manifest.VotingEnd.Add(time.Second))
+	}
+}
+
+// recordPhase stores a phase duration.
+func (c *Cluster) recordPhase(name string, d time.Duration) {
+	c.phaseMu.Lock()
+	defer c.phaseMu.Unlock()
+	c.PhaseDurations[name] = d
+}
+
+// RunVoteSetConsensus closes the polls and drives vote-set consensus on all
+// non-skipped VC nodes concurrently, returning each node's agreed set
+// (identical across honest nodes, per the consensus guarantee).
+func (c *Cluster) RunVoteSetConsensus(ctx context.Context, skip map[int]bool) (map[int][]vc.VotedBallot, error) {
+	c.ClosePolls()
+	start := time.Now()
+	type res struct {
+		set []vc.VotedBallot
+		err error
+	}
+	results := make([]res, len(c.VCs))
+	var wg sync.WaitGroup
+	for i, n := range c.VCs {
+		if skip[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *vc.Node) {
+			defer wg.Done()
+			set, err := n.VoteSetConsensus(ctx)
+			results[i] = res{set, err}
+		}(i, n)
+	}
+	wg.Wait()
+	c.recordPhase(PhaseVoteSetConsensus, time.Since(start))
+	sets := make(map[int][]vc.VotedBallot, len(c.VCs))
+	var firstErr error
+	for i := range results {
+		if skip[i] {
+			continue
+		}
+		if results[i].err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: vc %d consensus: %w", i, results[i].err)
+			}
+			continue
+		}
+		sets[i] = results[i].set
+	}
+	if len(sets) == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("core: no vc node ran consensus")
+		}
+		return nil, firstErr
+	}
+	return sets, nil
+}
+
+// PushToBB has every non-skipped VC node submit its final vote set and msk
+// share to every BB node; the phase ends when every BB node has published
+// the cast data (encrypted tally available).
+func (c *Cluster) PushToBB(sets map[int][]vc.VotedBallot) error {
+	if len(c.BBs) == 0 {
+		return errors.New("core: cluster has no BB nodes")
+	}
+	start := time.Now()
+	for i, n := range c.VCs {
+		set, ok := sets[i]
+		if !ok {
+			continue
+		}
+		sg := n.SignVoteSet(set)
+		for _, bnode := range c.BBs {
+			if err := bnode.SubmitVoteSet(i, set, sg); err != nil {
+				return fmt.Errorf("core: vc %d pushing set: %w", i, err)
+			}
+			if err := bnode.SubmitMskShare(n.MskShare()); err != nil {
+				return fmt.Errorf("core: vc %d pushing msk share: %w", i, err)
+			}
+		}
+	}
+	for i, bnode := range c.BBs {
+		if _, err := bnode.Cast(); err != nil {
+			return fmt.Errorf("core: bb %d did not publish cast data: %w", i, err)
+		}
+	}
+	c.recordPhase(PhasePushAndTally, time.Since(start))
+	return nil
+}
+
+// RunTrustees computes and submits every trustee's post, then waits for the
+// BB nodes to publish the combined result.
+func (c *Cluster) RunTrustees() error {
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Trustees))
+	for i, tr := range c.Trustees {
+		wg.Add(1)
+		go func(i int, tr *trustee.Trustee) {
+			defer wg.Done()
+			errs[i] = tr.PublishTo(c.Reader, c.BBs)
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: trustee %d: %w", i, err)
+		}
+	}
+	for i, bnode := range c.BBs {
+		if bnode.Lying {
+			continue
+		}
+		if _, err := bnode.Result(); err != nil {
+			return fmt.Errorf("core: bb %d did not publish a result: %w", i, err)
+		}
+	}
+	c.recordPhase(PhasePublishResult, time.Since(start))
+	return nil
+}
+
+// RunPipeline drives the three post-election phases after votes were cast:
+// vote-set consensus, push to BB, trustee tally. Returns the final result
+// read by majority.
+func (c *Cluster) RunPipeline(ctx context.Context) (*bb.Result, error) {
+	sets, err := c.RunVoteSetConsensus(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.PushToBB(sets); err != nil {
+		return nil, err
+	}
+	if err := c.RunTrustees(); err != nil {
+		return nil, err
+	}
+	return c.Reader.Result()
+}
+
+// RecordVoteCollection stores the measured duration of the vote-collection
+// phase (driven by the caller, who controls the client workload).
+func (c *Cluster) RecordVoteCollection(d time.Duration) {
+	c.recordPhase(PhaseVoteCollection, d)
+}
+
+// Phases returns a copy of the recorded phase durations.
+func (c *Cluster) Phases() map[string]time.Duration {
+	c.phaseMu.Lock()
+	defer c.phaseMu.Unlock()
+	out := make(map[string]time.Duration, len(c.PhaseDurations))
+	for k, v := range c.PhaseDurations {
+		out[k] = v
+	}
+	return out
+}

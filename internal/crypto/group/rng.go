@@ -1,0 +1,43 @@
+package group
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// DRBG is a deterministic byte stream derived from a seed via SHA-256 in
+// counter mode. It implements io.Reader and is used to make election setup
+// and tests reproducible. It is NOT a substitute for crypto/rand in
+// production elections; the Election Authority accepts any io.Reader and
+// defaults to crypto/rand.
+type DRBG struct {
+	key [32]byte
+	ctr uint64
+	buf []byte
+}
+
+// NewDRBG creates a deterministic reader seeded from the given bytes.
+func NewDRBG(seed []byte) *DRBG {
+	d := &DRBG{}
+	d.key = sha256.Sum256(append([]byte("ddemos/drbg/"), seed...))
+	return d
+}
+
+// Read fills p with deterministic pseudo-random bytes. It never fails.
+func (d *DRBG) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], d.key[:])
+			binary.BigEndian.PutUint64(block[32:], d.ctr)
+			d.ctr++
+			sum := sha256.Sum256(block[:])
+			d.buf = sum[:]
+		}
+		k := copy(p, d.buf)
+		d.buf = d.buf[k:]
+		p = p[k:]
+	}
+	return n, nil
+}

@@ -1,0 +1,166 @@
+// Package pedersen implements Pedersen commitments and Pedersen's verifiable
+// secret sharing (VSS) over P-256, the scheme the paper names in §III-B for
+// splitting election data among the trustees.
+//
+// A commitment to m with blinding r is C = m*G + r*H where H is a second
+// generator of unknown discrete log. Commitments are perfectly hiding,
+// computationally binding, and additively homomorphic:
+// Commit(a, r) + Commit(b, s) = Commit(a+b, r+s).
+//
+// Pedersen VSS deals a secret s with threshold t by sharing s and a blinding
+// value with two polynomials and publishing commitments to the coefficient
+// pairs; every shareholder can verify its share against the public
+// commitments without any interaction, and shares remain additively
+// homomorphic.
+package pedersen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"ddemos/internal/crypto/group"
+	"ddemos/internal/crypto/shamir"
+)
+
+// Commit computes m*G + r*H.
+func Commit(m, r *big.Int) group.Point {
+	return group.BaseMul(m).Add(group.AltBase().Mul(r))
+}
+
+// Open verifies that c is a commitment to (m, r).
+func Open(c group.Point, m, r *big.Int) bool {
+	return c.Equal(Commit(m, r))
+}
+
+// VSSShare is one shareholder's share of a Pedersen VSS dealing: a value
+// share and a blinding share at the same evaluation point.
+type VSSShare struct {
+	Index uint32
+	Value *big.Int // f(index)
+	Blind *big.Int // g(index)
+}
+
+// VSSDealing is the public output of a dealing: commitments to the
+// coefficient pairs of the two polynomials.
+type VSSDealing struct {
+	// Commitments[j] = a_j*G + b_j*H for polynomial coefficients a_j, b_j.
+	Commitments []group.Point
+}
+
+// Threshold returns the reconstruction threshold of the dealing.
+func (d *VSSDealing) Threshold() int { return len(d.Commitments) }
+
+// SecretCommitment returns the commitment to the dealt secret (coefficient 0).
+func (d *VSSDealing) SecretCommitment() (group.Point, error) {
+	if len(d.Commitments) == 0 {
+		return group.Point{}, errors.New("pedersen: empty dealing")
+	}
+	return d.Commitments[0], nil
+}
+
+// Deal shares secret with threshold t among n parties. It returns the public
+// dealing (for verification) and the n private shares.
+func Deal(secret *big.Int, t, n int, rnd io.Reader) (*VSSDealing, []VSSShare, error) {
+	if t < 1 || t > n {
+		return nil, nil, fmt.Errorf("pedersen: invalid threshold t=%d n=%d", t, n)
+	}
+	if secret.Sign() < 0 || secret.Cmp(group.Order()) >= 0 {
+		return nil, nil, errors.New("pedersen: secret out of field range")
+	}
+	f := make([]*big.Int, t) // value polynomial
+	g := make([]*big.Int, t) // blinding polynomial
+	f[0] = new(big.Int).Set(secret)
+	var err error
+	if g[0], err = group.RandScalar(rnd); err != nil {
+		return nil, nil, err
+	}
+	for j := 1; j < t; j++ {
+		if f[j], err = group.RandScalar(rnd); err != nil {
+			return nil, nil, err
+		}
+		if g[j], err = group.RandScalar(rnd); err != nil {
+			return nil, nil, err
+		}
+	}
+	dealing := &VSSDealing{Commitments: make([]group.Point, t)}
+	for j := 0; j < t; j++ {
+		dealing.Commitments[j] = Commit(f[j], g[j])
+	}
+	shares := make([]VSSShare, n)
+	for i := 1; i <= n; i++ {
+		shares[i-1] = VSSShare{
+			Index: uint32(i),
+			Value: shamir.Eval(f, uint32(i)),
+			Blind: shamir.Eval(g, uint32(i)),
+		}
+	}
+	return dealing, shares, nil
+}
+
+// Verify checks a share against the public dealing:
+// Value*G + Blind*H == Σ_j Commitments[j] * index^j.
+func Verify(d *VSSDealing, s VSSShare) bool {
+	if s.Index == 0 || len(d.Commitments) == 0 {
+		return false
+	}
+	left := Commit(s.Value, s.Blind)
+	right := group.Point{}
+	xPow := big.NewInt(1)
+	x := big.NewInt(int64(s.Index))
+	for _, c := range d.Commitments {
+		right = right.Add(c.Mul(xPow))
+		xPow = group.MulScalar(xPow, x)
+	}
+	return left.Equal(right)
+}
+
+// Combine reconstructs the secret (and its blinding value) from at least t
+// verified shares.
+func Combine(shares []VSSShare, t int) (secret, blind *big.Int, err error) {
+	if len(shares) < t {
+		return nil, nil, fmt.Errorf("pedersen: have %d shares, need %d", len(shares), t)
+	}
+	use := shares[:t]
+	vals := make([]shamir.Share, t)
+	blinds := make([]shamir.Share, t)
+	for i, s := range use {
+		vals[i] = shamir.Share{Index: s.Index, Value: s.Value}
+		blinds[i] = shamir.Share{Index: s.Index, Value: s.Blind}
+	}
+	if secret, err = shamir.Combine(vals, t); err != nil {
+		return nil, nil, err
+	}
+	if blind, err = shamir.Combine(blinds, t); err != nil {
+		return nil, nil, err
+	}
+	return secret, blind, nil
+}
+
+// AddShares adds two shares of different dealings (same index), producing a
+// share of the sum of the secrets. The corresponding dealings' commitments
+// add element-wise.
+func AddShares(a, b VSSShare) (VSSShare, error) {
+	if a.Index != b.Index {
+		return VSSShare{}, fmt.Errorf("pedersen: adding shares with indices %d and %d", a.Index, b.Index)
+	}
+	return VSSShare{
+		Index: a.Index,
+		Value: group.AddScalar(a.Value, b.Value),
+		Blind: group.AddScalar(a.Blind, b.Blind),
+	}, nil
+}
+
+// AddDealings combines the public parts of two dealings with equal
+// thresholds so that shares added via AddShares verify against the result.
+func AddDealings(a, b *VSSDealing) (*VSSDealing, error) {
+	if len(a.Commitments) != len(b.Commitments) {
+		return nil, errors.New("pedersen: dealings have different thresholds")
+	}
+	out := &VSSDealing{Commitments: make([]group.Point, len(a.Commitments))}
+	for i := range a.Commitments {
+		out.Commitments[i] = a.Commitments[i].Add(b.Commitments[i])
+	}
+	return out, nil
+}

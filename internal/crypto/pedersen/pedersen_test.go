@@ -1,0 +1,203 @@
+package pedersen
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"ddemos/internal/crypto/group"
+)
+
+func TestCommitOpen(t *testing.T) {
+	m := big.NewInt(42)
+	r, _ := group.RandScalar(rand.Reader)
+	c := Commit(m, r)
+	if !Open(c, m, r) {
+		t.Fatal("valid opening rejected")
+	}
+	if Open(c, big.NewInt(43), r) {
+		t.Fatal("wrong message accepted")
+	}
+	if Open(c, m, group.AddScalar(r, big.NewInt(1))) {
+		t.Fatal("wrong blinding accepted")
+	}
+}
+
+func TestCommitHomomorphic(t *testing.T) {
+	a, b := big.NewInt(10), big.NewInt(32)
+	ra, _ := group.RandScalar(rand.Reader)
+	rb, _ := group.RandScalar(rand.Reader)
+	sum := Commit(a, ra).Add(Commit(b, rb))
+	if !Open(sum, big.NewInt(42), group.AddScalar(ra, rb)) {
+		t.Fatal("homomorphic addition broken")
+	}
+}
+
+func TestCommitHiding(t *testing.T) {
+	// Different blinding, same message must give different commitments
+	// (perfect hiding means every commitment is equally likely, so two
+	// independent ones should virtually never collide).
+	m := big.NewInt(7)
+	r1, _ := group.RandScalar(rand.Reader)
+	r2, _ := group.RandScalar(rand.Reader)
+	if Commit(m, r1).Equal(Commit(m, r2)) {
+		t.Fatal("commitments with different blinding collided")
+	}
+}
+
+func TestVSSDealVerifyCombine(t *testing.T) {
+	secret := big.NewInt(123456)
+	dealing, shares, err := Deal(secret, 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shares {
+		if !Verify(dealing, s) {
+			t.Fatalf("valid share %d failed verification", s.Index)
+		}
+	}
+	got, _, err := Combine(shares[2:], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("reconstruction mismatch")
+	}
+	sc, err := dealing.SecretCommitment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blind, err := Combine(shares, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Open(sc, secret, blind) {
+		t.Fatal("secret commitment does not open to reconstructed values")
+	}
+}
+
+func TestVSSDetectsTamperedShare(t *testing.T) {
+	dealing, shares, err := Deal(big.NewInt(99), 2, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := shares[0]
+	bad.Value = group.AddScalar(bad.Value, big.NewInt(1))
+	if Verify(dealing, bad) {
+		t.Fatal("tampered value share passed verification")
+	}
+	bad2 := shares[1]
+	bad2.Blind = group.AddScalar(bad2.Blind, big.NewInt(1))
+	if Verify(dealing, bad2) {
+		t.Fatal("tampered blinding share passed verification")
+	}
+	bad3 := shares[2]
+	bad3.Index = 0
+	if Verify(dealing, bad3) {
+		t.Fatal("zero-index share passed verification")
+	}
+}
+
+func TestVSSHomomorphicAddition(t *testing.T) {
+	d1, s1, err := Deal(big.NewInt(100), 3, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, s2, err := Deal(big.NewInt(23), 3, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSum, err := AddDealings(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumShares := make([]VSSShare, 4)
+	for i := range s1 {
+		s, err := AddShares(s1[i], s2[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumShares[i] = s
+		if !Verify(dSum, s) {
+			t.Fatalf("summed share %d fails verification against summed dealing", s.Index)
+		}
+	}
+	got, _, err := Combine(sumShares, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(123)) != 0 {
+		t.Fatalf("homomorphic sum = %v, want 123", got)
+	}
+}
+
+func TestVSSInvalidParams(t *testing.T) {
+	if _, _, err := Deal(big.NewInt(1), 0, 3, rand.Reader); err == nil {
+		t.Fatal("t=0 must fail")
+	}
+	if _, _, err := Deal(big.NewInt(1), 4, 3, rand.Reader); err == nil {
+		t.Fatal("t>n must fail")
+	}
+	if _, _, err := Deal(group.Order(), 2, 3, rand.Reader); err == nil {
+		t.Fatal("secret >= q must fail")
+	}
+	if _, err := AddShares(VSSShare{Index: 1}, VSSShare{Index: 2}); err == nil {
+		t.Fatal("index mismatch must fail")
+	}
+	if _, err := AddDealings(&VSSDealing{Commitments: make([]group.Point, 2)}, &VSSDealing{Commitments: make([]group.Point, 3)}); err == nil {
+		t.Fatal("threshold mismatch must fail")
+	}
+}
+
+func TestVSSCombineTooFew(t *testing.T) {
+	_, shares, err := Deal(big.NewInt(5), 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Combine(shares[:2], 3); err == nil {
+		t.Fatal("2-of-3 reconstruction must fail")
+	}
+}
+
+func TestPropertyVSS(t *testing.T) {
+	rng := group.NewDRBG([]byte("pedersen-prop"))
+	f := func(raw [8]byte, tRaw, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		th := int(tRaw)%n + 1
+		secret := new(big.Int).SetBytes(raw[:])
+		dealing, shares, err := Deal(secret, th, n, rng)
+		if err != nil {
+			return false
+		}
+		for _, s := range shares {
+			if !Verify(dealing, s) {
+				return false
+			}
+		}
+		got, _, err := Combine(shares, th)
+		return err == nil && got.Cmp(secret) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCommit(b *testing.B) {
+	m := big.NewInt(1)
+	r, _ := group.RandScalar(rand.Reader)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Commit(m, r)
+	}
+}
+
+func BenchmarkVSSVerifyShare(b *testing.B) {
+	dealing, shares, _ := Deal(big.NewInt(5), 3, 4, rand.Reader)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Verify(dealing, shares[0]) {
+			b.Fatal("share must verify")
+		}
+	}
+}

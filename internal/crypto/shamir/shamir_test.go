@@ -1,0 +1,245 @@
+package shamir
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"ddemos/internal/crypto/group"
+)
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	cases := []struct{ t, n int }{{1, 1}, {2, 3}, {3, 4}, {5, 7}, {11, 16}}
+	for _, c := range cases {
+		secret, _ := group.RandScalar(rand.Reader)
+		shares, err := Split(secret, c.t, c.n, rand.Reader)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.t, c.n, err)
+		}
+		if len(shares) != c.n {
+			t.Fatalf("want %d shares, got %d", c.n, len(shares))
+		}
+		got, err := Combine(shares, c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("(%d,%d): reconstruction mismatch", c.t, c.n)
+		}
+	}
+}
+
+func TestCombineAnySubset(t *testing.T) {
+	secret := big.NewInt(424242)
+	shares, err := Split(secret, 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := [][]int{{0, 1, 2}, {2, 3, 4}, {0, 2, 4}, {4, 1, 3}}
+	for _, idx := range subsets {
+		sub := []Share{shares[idx[0]], shares[idx[1]], shares[idx[2]]}
+		got, err := Combine(sub, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("subset %v: mismatch", idx)
+		}
+	}
+}
+
+func TestCombineTooFewShares(t *testing.T) {
+	secret := big.NewInt(7)
+	shares, _ := Split(secret, 3, 5, rand.Reader)
+	if _, err := Combine(shares[:2], 3); err == nil {
+		t.Fatal("combining 2 of 3 must fail")
+	}
+}
+
+func TestTwoSharesLeakNothingStructural(t *testing.T) {
+	// With threshold 3, reconstructing from 2 shares plus a forged third
+	// should give an unrelated value (we cannot test information-theoretic
+	// secrecy directly, but we can check the interpolation is not degenerate).
+	secret := big.NewInt(123456789)
+	shares, _ := Split(secret, 3, 5, rand.Reader)
+	forged := Share{Index: 5, Value: big.NewInt(1)}
+	got, err := Combine([]Share{shares[0], shares[1], forged}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) == 0 {
+		t.Fatal("forged share should not reconstruct the true secret")
+	}
+}
+
+func TestDuplicateIndexRejected(t *testing.T) {
+	secret := big.NewInt(1)
+	shares, _ := Split(secret, 2, 3, rand.Reader)
+	if _, err := Combine([]Share{shares[0], shares[0]}, 2); err == nil {
+		t.Fatal("duplicate share index must be rejected")
+	}
+}
+
+func TestInvalidThresholds(t *testing.T) {
+	secret := big.NewInt(1)
+	for _, c := range []struct{ t, n int }{{0, 3}, {4, 3}, {-1, 2}} {
+		if _, err := Split(secret, c.t, c.n, rand.Reader); err == nil {
+			t.Fatalf("(%d,%d) must be rejected", c.t, c.n)
+		}
+	}
+}
+
+func TestSecretOutOfRange(t *testing.T) {
+	if _, err := Split(group.Order(), 2, 3, rand.Reader); err == nil {
+		t.Fatal("secret >= q must be rejected")
+	}
+	if _, err := Split(big.NewInt(-1), 2, 3, rand.Reader); err == nil {
+		t.Fatal("negative secret must be rejected")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	a := big.NewInt(1111)
+	b := big.NewInt(2222)
+	sa, _ := Split(a, 3, 4, rand.Reader)
+	sb, _ := Split(b, 3, 4, rand.Reader)
+	sum := make([]Share, 4)
+	for i := range sa {
+		s, err := AddShares(sa[i], sb[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum[i] = s
+	}
+	got, err := Combine(sum[:3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(3333)) != 0 {
+		t.Fatalf("homomorphic sum = %v, want 3333", got)
+	}
+}
+
+func TestAddSharesIndexMismatch(t *testing.T) {
+	if _, err := AddShares(Share{Index: 1, Value: big.NewInt(1)}, Share{Index: 2, Value: big.NewInt(1)}); err == nil {
+		t.Fatal("mismatched indices must be rejected")
+	}
+}
+
+func TestLagrangeCoefficients(t *testing.T) {
+	secret := big.NewInt(987654321)
+	shares, _ := Split(secret, 3, 5, rand.Reader)
+	idx := []uint32{shares[1].Index, shares[3].Index, shares[4].Index}
+	lam, err := LagrangeCoefficients(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := new(big.Int)
+	for i, s := range []Share{shares[1], shares[3], shares[4]} {
+		acc = group.AddScalar(acc, group.MulScalar(lam[i], s.Value))
+	}
+	if acc.Cmp(secret) != 0 {
+		t.Fatal("lagrange combination mismatch")
+	}
+}
+
+func TestLagrangeRejectsBadIndices(t *testing.T) {
+	if _, err := LagrangeCoefficients([]uint32{1, 1}); err == nil {
+		t.Fatal("duplicate indices must fail")
+	}
+	if _, err := LagrangeCoefficients([]uint32{0, 1}); err == nil {
+		t.Fatal("zero index must fail")
+	}
+}
+
+func TestSecretEmbeddingRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{0, 0, 0},
+		{0xff},
+		bytes.Repeat([]byte{0xab}, 8),  // receipt-sized
+		bytes.Repeat([]byte{0xcd}, 16), // AES-key-sized
+		bytes.Repeat([]byte{0x01}, 30),
+	}
+	for _, sec := range cases {
+		v, err := SecretToScalar(sec)
+		if err != nil {
+			t.Fatalf("embed %x: %v", sec, err)
+		}
+		got, err := ScalarToSecret(v)
+		if err != nil {
+			t.Fatalf("extract %x: %v", sec, err)
+		}
+		if !bytes.Equal(got, sec) {
+			t.Fatalf("round trip %x -> %x", sec, got)
+		}
+	}
+	if _, err := SecretToScalar(bytes.Repeat([]byte{1}, 31)); err == nil {
+		t.Fatal("31-byte secret must be rejected")
+	}
+}
+
+func TestSecretEmbeddingThroughSharing(t *testing.T) {
+	receipt := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	v, err := SecretToScalar(receipt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := Split(v, 3, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Combine(shares[1:], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScalarToSecret(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, receipt) {
+		t.Fatal("receipt did not survive share/reconstruct")
+	}
+}
+
+func TestPropertySplitCombine(t *testing.T) {
+	rng := group.NewDRBG([]byte("prop"))
+	f := func(raw [16]byte, tRaw, nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		th := int(tRaw)%n + 1
+		secret := new(big.Int).SetBytes(raw[:])
+		shares, err := Split(secret, th, n, rng)
+		if err != nil {
+			return false
+		}
+		got, err := Combine(shares, th)
+		return err == nil && got.Cmp(secret) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplit4(b *testing.B) {
+	secret := big.NewInt(123)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(secret, 3, 4, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombine4(b *testing.B) {
+	secret := big.NewInt(123)
+	shares, _ := Split(secret, 3, 4, rand.Reader)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(shares, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package votecode implements the vote-code hiding commitments of §III-D:
+//
+//   - On the Bulletin Board, vote codes are stored encrypted under the
+//     election master key msk with AES-128-CBC and a random IV (the paper's
+//     AES-128-CBC$), so BB data is public from the start without enabling
+//     vote-code theft. H_msk = SHA256(msk, salt) lets every BB node check
+//     that the key reconstructed from VC shares is the right one.
+//
+//   - On Vote Collector nodes, each vote code is committed to as
+//     H = SHA256(vote-code, salt) so a VC node can validate a submitted code
+//     locally (no network round trip) while never storing codes in clear.
+package votecode
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// KeySize is the AES-128 master key length in bytes.
+	KeySize = 16
+	// CodeSize is the vote-code length: 160-bit random numbers per §III-D.
+	CodeSize = 20
+	// ReceiptSize is the receipt length: 64-bit random numbers per §III-D.
+	ReceiptSize = 8
+	// SaltSize is the salt length for hash commitments.
+	SaltSize = 8
+)
+
+// ErrCiphertextFormat is returned for malformed encrypted vote codes.
+var ErrCiphertextFormat = errors.New("votecode: malformed ciphertext")
+
+// Encrypt encrypts a vote code under msk with AES-128-CBC and a fresh random
+// IV (prepended to the output). PKCS#7 padding is applied.
+func Encrypt(msk []byte, code []byte, rnd io.Reader) ([]byte, error) {
+	block, err := aes.NewCipher(msk)
+	if err != nil {
+		return nil, fmt.Errorf("votecode: %w", err)
+	}
+	padLen := aes.BlockSize - len(code)%aes.BlockSize
+	padded := make([]byte, len(code)+padLen)
+	copy(padded, code)
+	for i := len(code); i < len(padded); i++ {
+		padded[i] = byte(padLen)
+	}
+	out := make([]byte, aes.BlockSize+len(padded))
+	iv := out[:aes.BlockSize]
+	if _, err := io.ReadFull(rnd, iv); err != nil {
+		return nil, fmt.Errorf("votecode: sampling IV: %w", err)
+	}
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out[aes.BlockSize:], padded)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func Decrypt(msk []byte, blob []byte) ([]byte, error) {
+	block, err := aes.NewCipher(msk)
+	if err != nil {
+		return nil, fmt.Errorf("votecode: %w", err)
+	}
+	if len(blob) < 2*aes.BlockSize || len(blob)%aes.BlockSize != 0 {
+		return nil, ErrCiphertextFormat
+	}
+	iv := blob[:aes.BlockSize]
+	ct := blob[aes.BlockSize:]
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(pt, ct)
+	padLen := int(pt[len(pt)-1])
+	if padLen < 1 || padLen > aes.BlockSize || padLen > len(pt) {
+		return nil, ErrCiphertextFormat
+	}
+	for _, b := range pt[len(pt)-padLen:] {
+		if int(b) != padLen {
+			return nil, ErrCiphertextFormat
+		}
+	}
+	return pt[:len(pt)-padLen], nil
+}
+
+// HashCommit computes the salted commitment SHA256(code || salt) used by VC
+// nodes to validate vote codes locally.
+func HashCommit(code, salt []byte) [32]byte {
+	h := sha256.New()
+	h.Write(code)
+	h.Write(salt)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// VerifyCommit checks a code against a salted hash commitment in constant
+// time with respect to the hash comparison.
+func VerifyCommit(commit [32]byte, code, salt []byte) bool {
+	got := HashCommit(code, salt)
+	return subtleEqual(commit[:], got[:])
+}
+
+// KeyCheck computes H_msk = SHA256(msk || salt), given to BB nodes at setup
+// so they can verify a reconstructed master key.
+func KeyCheck(msk, salt []byte) [32]byte {
+	return HashCommit(msk, salt)
+}
+
+// VerifyKey checks a candidate master key against H_msk.
+func VerifyKey(check [32]byte, msk, salt []byte) bool {
+	return VerifyCommit(check, msk, salt)
+}
+
+func subtleEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}
+
+// NewCode samples a fresh 160-bit vote code.
+func NewCode(rnd io.Reader) ([]byte, error) {
+	return randBytes(rnd, CodeSize)
+}
+
+// NewReceipt samples a fresh 64-bit receipt.
+func NewReceipt(rnd io.Reader) ([]byte, error) {
+	return randBytes(rnd, ReceiptSize)
+}
+
+// NewSalt samples a fresh 64-bit salt.
+func NewSalt(rnd io.Reader) ([]byte, error) {
+	return randBytes(rnd, SaltSize)
+}
+
+// NewKey samples a fresh AES-128 master key.
+func NewKey(rnd io.Reader) ([]byte, error) {
+	return randBytes(rnd, KeySize)
+}
+
+func randBytes(rnd io.Reader, n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rnd, b); err != nil {
+		return nil, fmt.Errorf("votecode: sampling %d bytes: %w", n, err)
+	}
+	return b, nil
+}
+
+// Equal compares two codes/receipts without leaking timing.
+func Equal(a, b []byte) bool { return subtleEqual(a, b) }

@@ -1,0 +1,173 @@
+package votecode
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"ddemos/internal/crypto/group"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	msk, err := NewKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := NewCode(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encrypt(msk, code, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(msk, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, code) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEncryptRandomized(t *testing.T) {
+	msk, _ := NewKey(rand.Reader)
+	code, _ := NewCode(rand.Reader)
+	b1, _ := Encrypt(msk, code, rand.Reader)
+	b2, _ := Encrypt(msk, code, rand.Reader)
+	if bytes.Equal(b1, b2) {
+		t.Fatal("CBC$ must randomize: two encryptions of same code collided")
+	}
+}
+
+func TestDecryptWrongKeyFails(t *testing.T) {
+	msk1, _ := NewKey(rand.Reader)
+	msk2, _ := NewKey(rand.Reader)
+	code, _ := NewCode(rand.Reader)
+	blob, _ := Encrypt(msk1, code, rand.Reader)
+	got, err := Decrypt(msk2, blob)
+	// CBC has no integrity; either padding fails or we get garbage.
+	if err == nil && bytes.Equal(got, code) {
+		t.Fatal("wrong key decrypted to original code")
+	}
+}
+
+func TestDecryptMalformed(t *testing.T) {
+	msk, _ := NewKey(rand.Reader)
+	for _, blob := range [][]byte{nil, {1, 2, 3}, make([]byte, 16), make([]byte, 17), make([]byte, 33)} {
+		if _, err := Decrypt(msk, blob); err == nil {
+			t.Fatalf("blob of len %d must be rejected", len(blob))
+		}
+	}
+}
+
+func TestEncryptBadKey(t *testing.T) {
+	if _, err := Encrypt([]byte{1, 2, 3}, []byte("code"), rand.Reader); err == nil {
+		t.Fatal("short key must be rejected")
+	}
+	if _, err := Decrypt([]byte{1, 2, 3}, make([]byte, 32)); err == nil {
+		t.Fatal("short key must be rejected on decrypt")
+	}
+}
+
+func TestHashCommitVerify(t *testing.T) {
+	code, _ := NewCode(rand.Reader)
+	salt, _ := NewSalt(rand.Reader)
+	c := HashCommit(code, salt)
+	if !VerifyCommit(c, code, salt) {
+		t.Fatal("valid commitment rejected")
+	}
+	other, _ := NewCode(rand.Reader)
+	if VerifyCommit(c, other, salt) {
+		t.Fatal("wrong code accepted")
+	}
+	otherSalt, _ := NewSalt(rand.Reader)
+	if VerifyCommit(c, code, otherSalt) {
+		t.Fatal("wrong salt accepted")
+	}
+}
+
+func TestKeyCheck(t *testing.T) {
+	msk, _ := NewKey(rand.Reader)
+	salt, _ := NewSalt(rand.Reader)
+	h := KeyCheck(msk, salt)
+	if !VerifyKey(h, msk, salt) {
+		t.Fatal("valid key rejected")
+	}
+	bad, _ := NewKey(rand.Reader)
+	if VerifyKey(h, bad, salt) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	code, _ := NewCode(rand.Reader)
+	if len(code) != 20 {
+		t.Fatalf("vote code must be 160 bits, got %d bytes", len(code))
+	}
+	r, _ := NewReceipt(rand.Reader)
+	if len(r) != 8 {
+		t.Fatalf("receipt must be 64 bits, got %d bytes", len(r))
+	}
+	s, _ := NewSalt(rand.Reader)
+	if len(s) != 8 {
+		t.Fatalf("salt must be 64 bits, got %d bytes", len(s))
+	}
+	k, _ := NewKey(rand.Reader)
+	if len(k) != 16 {
+		t.Fatalf("msk must be 128 bits, got %d bytes", len(k))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]byte{1, 2}, []byte{1, 2}) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if Equal([]byte{1, 2}, []byte{1, 3}) || Equal([]byte{1}, []byte{1, 2}) {
+		t.Fatal("unequal slices reported equal")
+	}
+}
+
+func TestPropertyEncryptDecrypt(t *testing.T) {
+	rng := group.NewDRBG([]byte("votecode-prop"))
+	msk, _ := NewKey(rng)
+	f := func(payload []byte) bool {
+		if len(payload) == 0 || len(payload) > 64 {
+			return true // skip: codes are fixed-size in practice
+		}
+		blob, err := Encrypt(msk, payload, rng)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(msk, blob)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHashCommitVerify(b *testing.B) {
+	code, _ := NewCode(rand.Reader)
+	salt, _ := NewSalt(rand.Reader)
+	c := HashCommit(code, salt)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !VerifyCommit(c, code, salt) {
+			b.Fatal("must verify")
+		}
+	}
+}
+
+func BenchmarkEncryptCode(b *testing.B) {
+	msk, _ := NewKey(rand.Reader)
+	code, _ := NewCode(rand.Reader)
+	rng := group.NewDRBG([]byte("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encrypt(msk, code, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

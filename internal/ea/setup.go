@@ -1,0 +1,409 @@
+package ea
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"ddemos/internal/ballot"
+	"ddemos/internal/crypto/elgamal"
+	"ddemos/internal/crypto/group"
+	"ddemos/internal/crypto/shamir"
+	"ddemos/internal/crypto/votecode"
+	"ddemos/internal/crypto/zkp"
+	"ddemos/internal/sig"
+	"ddemos/internal/store"
+)
+
+func signShare(priv ed25519.PrivateKey, domain, electionID string, serial uint64, extra []byte, share shamir.Share) []byte {
+	return sig.Sign(priv, domain,
+		[]byte(electionID), sig.Uint64Bytes(serial), extra,
+		sig.Uint64Bytes(uint64(share.Index)), group.ScalarBytes(share.Value))
+}
+
+func verifyShare(pub ed25519.PublicKey, sigBytes []byte, domain, electionID string, serial uint64, extra []byte, share shamir.Share) bool {
+	return sig.Verify(pub, sigBytes, domain,
+		[]byte(electionID), sig.Uint64Bytes(serial), extra,
+		sig.Uint64Bytes(uint64(share.Index)), group.ScalarBytes(share.Value))
+}
+
+// Setup runs the Election Authority: it generates all keys, ballots and
+// component initialization data for the given parameters. Ballots are
+// processed in parallel across CPUs; with Params.Seed set the output is
+// fully deterministic regardless of parallelism (each ballot derives its
+// own DRBG).
+func Setup(p Params) (*ElectionData, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	masterRnd := newRand(p.Seed, "master", 0)
+
+	// Keys for every component (no external PKI, §III-D).
+	eaKeys, err := sig.NewKeyPair(masterRnd)
+	if err != nil {
+		return nil, err
+	}
+	vcKeys := make([]sig.KeyPair, p.NumVC)
+	vcPubs := make([]ed25519.PublicKey, p.NumVC)
+	for i := range vcKeys {
+		if vcKeys[i], err = sig.NewKeyPair(masterRnd); err != nil {
+			return nil, err
+		}
+		vcPubs[i] = vcKeys[i].Public
+	}
+	trusteeKeys := make([]sig.KeyPair, p.NumTrustees)
+	trusteePubs := make([]ed25519.PublicKey, p.NumTrustees)
+	for i := range trusteeKeys {
+		if trusteeKeys[i], err = sig.NewKeyPair(masterRnd); err != nil {
+			return nil, err
+		}
+		trusteePubs[i] = trusteeKeys[i].Public
+	}
+
+	manifest := Manifest{
+		ElectionID:       p.ElectionID,
+		Options:          append([]string(nil), p.Options...),
+		NumBallots:       p.NumBallots,
+		NumVC:            p.NumVC,
+		NumBB:            p.NumBB,
+		NumTrustees:      p.NumTrustees,
+		TrusteeThreshold: p.TrusteeThreshold,
+		MaxSelections:    p.MaxSelections,
+		VotingStart:      p.VotingStart,
+		VotingEnd:        p.VotingEnd,
+		EAPublic:         eaKeys.Public,
+		VCPublics:        vcPubs,
+		TrusteePublics:   trusteePubs,
+	}
+
+	// Master key for vote-code encryption, shared (Nv-fv, Nv) among VC
+	// nodes; H_msk authenticates it for the BB nodes.
+	msk, err := votecode.NewKey(masterRnd)
+	if err != nil {
+		return nil, err
+	}
+	saltMsk, err := votecode.NewSalt(masterRnd)
+	if err != nil {
+		return nil, err
+	}
+	mskScalar, err := shamir.SecretToScalar(msk)
+	if err != nil {
+		return nil, err
+	}
+	hv := manifest.ReceiptThreshold()
+	mskShares, err := shamir.Split(mskScalar, hv, p.NumVC, masterRnd)
+	if err != nil {
+		return nil, err
+	}
+
+	data := &ElectionData{
+		Manifest: manifest,
+		Ballots:  make([]*ballot.Ballot, p.NumBallots),
+		VC:       make([]*VCInit, p.NumVC),
+	}
+	for i := range data.VC {
+		data.VC[i] = &VCInit{
+			Manifest: manifest,
+			Index:    i,
+			Private:  vcKeys[i].Private,
+			Msk: MskShare{
+				Index: mskShares[i].Index,
+				Value: mskShares[i].Value,
+				Sig:   SignMskShare(eaKeys.Private, p.ElectionID, mskShares[i]),
+			},
+			Ballots: make([]*store.BallotData, p.NumBallots),
+		}
+	}
+	if !p.VCOnly {
+		data.BB = &BBInit{Manifest: manifest, Ballots: make([]BBBallot, p.NumBallots)}
+		data.BB.HMsk = votecode.KeyCheck(msk, saltMsk)
+		copy(data.BB.SaltMsk[:], saltMsk)
+		data.Trustees = make([]*TrusteeInit, p.NumTrustees)
+		for i := range data.Trustees {
+			data.Trustees[i] = &TrusteeInit{
+				Manifest: manifest,
+				Index:    i,
+				Private:  trusteeKeys[i].Private,
+				Ballots:  make([]TrusteeBallot, p.NumBallots),
+			}
+		}
+	}
+
+	// Per-ballot generation, parallel across CPUs.
+	gen := &ballotGen{
+		p:       &p,
+		ck:      manifest.CommitmentKey(),
+		eaPriv:  eaKeys.Private,
+		msk:     msk,
+		hv:      hv,
+		m:       len(p.Options),
+		data:    data,
+		hasSeed: p.Seed != nil,
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.NumBallots {
+		workers = p.NumBallots
+	}
+	serials := make(chan uint64, workers*2)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for serial := range serials {
+				if err := gen.one(serial); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for s := uint64(1); s <= uint64(p.NumBallots); s++ {
+		serials <- s
+	}
+	close(serials)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return data, nil
+}
+
+// newRand builds the randomness source for a scope: a deterministic DRBG if
+// a seed is set, crypto/rand otherwise.
+func newRand(seed []byte, scope string, serial uint64) io.Reader {
+	if seed == nil {
+		return rand.Reader
+	}
+	buf := make([]byte, 0, len(seed)+len(scope)+8)
+	buf = append(buf, seed...)
+	buf = append(buf, scope...)
+	buf = binary.BigEndian.AppendUint64(buf, serial)
+	return group.NewDRBG(buf)
+}
+
+type ballotGen struct {
+	p       *Params
+	ck      elgamal.CommitmentKey
+	eaPriv  ed25519.PrivateKey
+	msk     []byte
+	hv      int
+	m       int
+	data    *ElectionData
+	hasSeed bool
+}
+
+// one generates ballot `serial` and all derived per-component data, writing
+// into the pre-allocated slots (no cross-ballot contention).
+func (g *ballotGen) one(serial uint64) error {
+	var rnd io.Reader
+	if g.hasSeed {
+		rnd = newRand(g.p.Seed, "ballot", serial)
+	} else {
+		rnd = rand.Reader
+	}
+	b := &ballot.Ballot{Serial: serial}
+	vcData := make([]*store.BallotData, len(g.data.VC))
+	for i := range vcData {
+		vcData[i] = &store.BallotData{Serial: serial}
+	}
+	var bbBallot BBBallot
+	var trusteeBallots []TrusteeBallot
+	full := g.data.BB != nil
+	if full {
+		bbBallot.Serial = serial
+		trusteeBallots = make([]TrusteeBallot, len(g.data.Trustees))
+		for i := range trusteeBallots {
+			trusteeBallots[i].Serial = serial
+		}
+	}
+
+	seenCodes := make(map[string]bool, 2*g.m)
+	for part := 0; part < 2; part++ {
+		lines := make([]ballot.Line, g.m)
+		for opt := 0; opt < g.m; opt++ {
+			code, err := votecode.NewCode(rnd)
+			if err != nil {
+				return err
+			}
+			for seenCodes[string(code)] { // enforce per-ballot uniqueness
+				if code, err = votecode.NewCode(rnd); err != nil {
+					return err
+				}
+			}
+			seenCodes[string(code)] = true
+			receipt, err := votecode.NewReceipt(rnd)
+			if err != nil {
+				return err
+			}
+			lines[opt] = ballot.Line{VoteCode: code, Option: g.p.Options[opt], Receipt: receipt}
+		}
+		// Shuffle rows so BB position leaks nothing about the option.
+		perm, err := randPerm(rnd, g.m)
+		if err != nil {
+			return err
+		}
+		mRows := g.m
+		for i := range vcData {
+			vcData[i].Lines[part] = make([]store.Line, mRows)
+		}
+		var bbRows []BBRow
+		if full {
+			bbRows = make([]BBRow, mRows)
+		}
+		for row := 0; row < mRows; row++ {
+			optIdx := perm[row]
+			line := &lines[optIdx]
+			salt, err := votecode.NewSalt(rnd)
+			if err != nil {
+				return err
+			}
+			hash := votecode.HashCommit(line.VoteCode, salt)
+
+			// Receipt sharing (Nv-fv, Nv) with EA-signed shares.
+			rScalar, err := shamir.SecretToScalar(line.Receipt)
+			if err != nil {
+				return err
+			}
+			rShares, err := shamir.Split(rScalar, g.hv, len(g.data.VC), rnd)
+			if err != nil {
+				return err
+			}
+			for i := range vcData {
+				sl := &vcData[i].Lines[part][row]
+				sl.Hash = hash
+				copy(sl.Salt[:], salt)
+				copy(sl.Share[:], group.ScalarBytes(rShares[i].Value))
+				copy(sl.ShareSig[:], SignReceiptShare(g.eaPriv, g.p.ElectionID, serial, hash, rShares[i]))
+			}
+
+			if !full {
+				continue
+			}
+			// BB payload: encrypted code, option-encoding commitment, ZK
+			// first moves.
+			encCode, err := votecode.Encrypt(g.msk, line.VoteCode, rnd)
+			if err != nil {
+				return err
+			}
+			cts, opening, err := g.ck.EncryptUnitVector(g.m, optIdx, rnd)
+			if err != nil {
+				return err
+			}
+			bitCommits := make([]zkp.BitCommit, g.m)
+			bitCoeffs := make([]zkp.BitCoeffs, g.m)
+			rSum := new(big.Int)
+			for col := 0; col < g.m; col++ {
+				mBit := 0
+				if opening.Ms[col].Sign() != 0 {
+					mBit = 1
+				}
+				com, cf, err := zkp.NewBitProofFor(g.ck, cts[col], mBit, opening.Rs[col], rnd)
+				if err != nil {
+					return err
+				}
+				bitCommits[col] = com
+				bitCoeffs[col] = cf
+				rSum = group.AddScalar(rSum, opening.Rs[col])
+			}
+			sumCommit, sumCoeffs, err := zkp.NewSumProof(g.ck, rSum, rnd)
+			if err != nil {
+				return err
+			}
+			bbRows[row] = BBRow{
+				EncCode:    encCode,
+				Commitment: cts,
+				BitCommits: bitCommits,
+				SumCommit:  sumCommit,
+			}
+
+			// Trustee shares: openings and proof coefficients.
+			nt, ht := g.p.NumTrustees, g.p.TrusteeThreshold
+			tRows := make([]TrusteeRow, nt)
+			for ti := range tRows {
+				tRows[ti] = TrusteeRow{
+					MShares:   make([]*big.Int, g.m),
+					RShares:   make([]*big.Int, g.m),
+					BitCoeffs: make([]zkp.BitCoeffs, g.m),
+				}
+			}
+			for col := 0; col < g.m; col++ {
+				mShares, err := shamir.Split(opening.Ms[col], ht, nt, rnd)
+				if err != nil {
+					return err
+				}
+				rShares, err := shamir.Split(opening.Rs[col], ht, nt, rnd)
+				if err != nil {
+					return err
+				}
+				cfShares, err := zkp.ShareBitCoeffs(bitCoeffs[col], ht, nt, rnd)
+				if err != nil {
+					return err
+				}
+				for ti := 0; ti < nt; ti++ {
+					tRows[ti].MShares[col] = mShares[ti].Value
+					tRows[ti].RShares[col] = rShares[ti].Value
+					tRows[ti].BitCoeffs[col] = cfShares[ti]
+				}
+			}
+			sumShares, err := zkp.ShareSumCoeffs(sumCoeffs, ht, nt, rnd)
+			if err != nil {
+				return err
+			}
+			for ti := 0; ti < nt; ti++ {
+				tRows[ti].SumCoeffs = sumShares[ti]
+			}
+			for ti := range trusteeBallots {
+				if trusteeBallots[ti].Parts[part] == nil {
+					trusteeBallots[ti].Parts[part] = make([]TrusteeRow, mRows)
+				}
+				trusteeBallots[ti].Parts[part][row] = tRows[ti]
+			}
+		}
+		if full {
+			bbBallot.Parts[part] = bbRows
+		}
+		b.Parts[part] = ballot.Part{Lines: lines}
+	}
+
+	idx := serial - 1
+	g.data.Ballots[idx] = b
+	for i := range g.data.VC {
+		g.data.VC[i].Ballots[idx] = vcData[i]
+	}
+	if full {
+		g.data.BB.Ballots[idx] = bbBallot
+		for ti := range g.data.Trustees {
+			g.data.Trustees[ti].Ballots[idx] = trusteeBallots[ti]
+		}
+	}
+	return nil
+}
+
+// randPerm is a Fisher–Yates shuffle driven by the setup randomness source.
+func randPerm(rnd io.Reader, n int) ([]int, error) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var buf [8]byte
+	for i := n - 1; i > 0; i-- {
+		if _, err := io.ReadFull(rnd, buf[:]); err != nil {
+			return nil, fmt.Errorf("ea: shuffling: %w", err)
+		}
+		j := int(binary.BigEndian.Uint64(buf[:]) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}

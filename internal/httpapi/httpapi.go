@@ -1,0 +1,305 @@
+// Package httpapi provides the HTTP servers and clients for multi-process
+// deployments: the VC voter-facing endpoint (a plain POST — voters need no
+// special software, §I), the BB read/write API, and the gob encoding of
+// initialization payloads the ddemos-ea tool writes to disk.
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/ea"
+	"ddemos/internal/vc"
+)
+
+// WriteGobFile serializes v to path.
+func WriteGobFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("httpapi: create %s: %w", path, err)
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("httpapi: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadGobFile deserializes path into v.
+func ReadGobFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("httpapi: open %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("httpapi: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// --- VC voter endpoint -----------------------------------------------------
+
+// VoteRequest is the voter-facing JSON body: a serial number and a hex vote
+// code, nothing else (no cryptography client-side).
+type VoteRequest struct {
+	Serial uint64 `json:"serial"`
+	Code   string `json:"code"`
+}
+
+// VoteResponse returns the hex receipt.
+type VoteResponse struct {
+	Receipt string `json:"receipt,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// VCHandler serves the public voting endpoint for a VC node.
+func VCHandler(node *vc.Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /vote", func(w http.ResponseWriter, r *http.Request) {
+		var req VoteRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, VoteResponse{Error: "malformed request"})
+			return
+		}
+		code, err := hex.DecodeString(req.Code)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, VoteResponse{Error: "malformed vote code"})
+			return
+		}
+		receipt, err := node.SubmitVote(r.Context(), req.Serial, code)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, VoteResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, VoteResponse{Receipt: hex.EncodeToString(receipt)})
+	})
+	return mux
+}
+
+// VCClient is a voter.Service over HTTP.
+type VCClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// SubmitVote implements voter.Service.
+func (c *VCClient) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]byte, error) {
+	body, err := json.Marshal(VoteRequest{Serial: serial, Code: hex.EncodeToString(code)})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/vote", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: vote: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var vr VoteResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&vr); err != nil {
+		return nil, fmt.Errorf("httpapi: vote response: %w", err)
+	}
+	if vr.Error != "" {
+		return nil, fmt.Errorf("httpapi: vc: %s", vr.Error)
+	}
+	return hex.DecodeString(vr.Receipt)
+}
+
+func (c *VCClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// --- BB read/write API -------------------------------------------------------
+
+// BBHandler serves a BB node: gob-encoded reads on public paths, verified
+// writes (the submissions carry their own signatures; the BB node verifies
+// them, §III-G).
+func BBHandler(node *bb.Node) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(path string, get func() (any, error)) {
+		mux.HandleFunc("GET "+path, func(w http.ResponseWriter, r *http.Request) {
+			v, err := get()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_ = gob.NewEncoder(w).Encode(v)
+		})
+	}
+	serve("/manifest", func() (any, error) { m, err := node.Manifest(); return &m, err })
+	serve("/init", func() (any, error) { return node.Init() })
+	serve("/voteset", func() (any, error) { return node.VoteSet() })
+	serve("/cast", func() (any, error) { return node.Cast() })
+	serve("/result", func() (any, error) { return node.Result() })
+
+	mux.HandleFunc("POST /submit/voteset", func(w http.ResponseWriter, r *http.Request) {
+		var sub VoteSetSubmission
+		if err := gob.NewDecoder(r.Body).Decode(&sub); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := node.SubmitVoteSet(sub.VCIndex, sub.Set, sub.Sig); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /submit/mskshare", func(w http.ResponseWriter, r *http.Request) {
+		var share ea.MskShare
+		if err := gob.NewDecoder(r.Body).Decode(&share); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := node.SubmitMskShare(share); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /submit/trusteepost", func(w http.ResponseWriter, r *http.Request) {
+		var post bb.TrusteePost
+		if err := gob.NewDecoder(r.Body).Decode(&post); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := node.SubmitTrusteePost(&post); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// VoteSetSubmission is the gob body of /submit/voteset.
+type VoteSetSubmission struct {
+	VCIndex int
+	Set     []vc.VotedBallot
+	Sig     []byte
+}
+
+// BBClient implements bb.API over HTTP, so bb.Reader (the majority reader)
+// works transparently against remote nodes.
+type BBClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+var _ bb.API = (*BBClient)(nil)
+
+func (c *BBClient) get(path string, v any) error {
+	client := c.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := client.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("httpapi: get %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("httpapi: get %s: %s (%s)", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return gob.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *BBClient) post(path string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	client := c.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := client.Post(c.BaseURL+path, "application/octet-stream", &buf)
+	if err != nil {
+		return fmt.Errorf("httpapi: post %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("httpapi: post %s: %s (%s)", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Manifest implements bb.API.
+func (c *BBClient) Manifest() (ea.Manifest, error) {
+	var m ea.Manifest
+	err := c.get("/manifest", &m)
+	return m, err
+}
+
+// Init implements bb.API.
+func (c *BBClient) Init() (*ea.BBInit, error) {
+	var v ea.BBInit
+	if err := c.get("/init", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// VoteSet implements bb.API.
+func (c *BBClient) VoteSet() ([]vc.VotedBallot, error) {
+	var v []vc.VotedBallot
+	err := c.get("/voteset", &v)
+	return v, err
+}
+
+// Cast implements bb.API.
+func (c *BBClient) Cast() (*bb.CastData, error) {
+	var v bb.CastData
+	if err := c.get("/cast", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Result implements bb.API.
+func (c *BBClient) Result() (*bb.Result, error) {
+	var v bb.Result
+	if err := c.get("/result", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// SubmitVoteSet pushes a VC node's final set.
+func (c *BBClient) SubmitVoteSet(vcIndex int, set []vc.VotedBallot, sig []byte) error {
+	return c.post("/submit/voteset", &VoteSetSubmission{VCIndex: vcIndex, Set: set, Sig: sig})
+}
+
+// SubmitMskShare pushes a VC node's master-key share.
+func (c *BBClient) SubmitMskShare(share ea.MskShare) error {
+	return c.post("/submit/mskshare", &share)
+}
+
+// SubmitTrusteePost pushes a trustee post.
+func (c *BBClient) SubmitTrusteePost(post *bb.TrusteePost) error {
+	return c.post("/submit/trusteepost", post)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

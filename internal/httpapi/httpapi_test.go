@@ -1,0 +1,186 @@
+package httpapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ddemos/internal/auditor"
+	"ddemos/internal/bb"
+	"ddemos/internal/core"
+	"ddemos/internal/ea"
+	"ddemos/internal/trustee"
+	"ddemos/internal/voter"
+)
+
+// TestHTTPDeploymentEndToEnd runs a full election where voters, the vote-set
+// push, the trustees and the auditor all go through the HTTP layer — the
+// exact plumbing the cmd/ tools use (inter-VC stays on the simulated
+// network; cmd/ddemos-vc swaps in TCP, which transport tests cover).
+func TestHTTPDeploymentEndToEnd(t *testing.T) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "http-test",
+		Options:     []string{"yes", "no"},
+		NumBallots:  6,
+		NumVC:       4,
+		NumBB:       3,
+		NumTrustees: 3,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("http-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := core.NewCluster(data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	// VC nodes behind HTTP.
+	var services []voter.Service
+	for _, n := range cluster.VCs {
+		srv := httptest.NewServer(VCHandler(n))
+		defer srv.Close()
+		services = append(services, &VCClient{BaseURL: srv.URL})
+	}
+	// BB nodes behind HTTP.
+	var apis []bb.API
+	var bbClients []*BBClient
+	for _, n := range cluster.BBs {
+		srv := httptest.NewServer(BBHandler(n))
+		defer srv.Close()
+		c := &BBClient{BaseURL: srv.URL}
+		apis = append(apis, c)
+		bbClients = append(bbClients, c)
+	}
+	reader := bb.NewReader(apis)
+
+	// Vote over HTTP.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	votes := []int{0, 1, 0, 0}
+	results := make([]*voter.CastResult, len(votes))
+	for i, opt := range votes {
+		cl := &voter.Client{Ballot: data.Ballots[i], Services: services, Patience: 10 * time.Second}
+		res, err := cl.Cast(ctx, opt)
+		if err != nil {
+			t.Fatalf("voter %d over http: %v", i, err)
+		}
+		results[i] = res
+	}
+
+	// Invalid submissions get clean HTTP errors.
+	badClient := services[0]
+	if _, err := badClient.SubmitVote(ctx, 999, []byte("nope")); err == nil {
+		t.Fatal("bad vote must fail over http")
+	}
+
+	// Close polls, consensus in-process, push over HTTP.
+	sets, err := cluster.RunVoteSetConsensus(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range cluster.VCs {
+		set := sets[i]
+		sg := n.SignVoteSet(set)
+		for _, c := range bbClients {
+			if err := c.SubmitVoteSet(i, set, sg); err != nil {
+				t.Fatalf("vc %d push: %v", i, err)
+			}
+			if err := c.SubmitMskShare(n.MskShare()); err != nil {
+				t.Fatalf("vc %d msk: %v", i, err)
+			}
+		}
+	}
+
+	// Trustees read + post over HTTP.
+	for i := range cluster.Trustees {
+		tr, err := trustee.New(data.Trustees[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		post, err := tr.ComputePost(reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range bbClients {
+			if err := c.SubmitTrusteePost(post); err != nil {
+				t.Fatalf("trustee %d post: %v", i, err)
+			}
+		}
+	}
+
+	// Result + voter verification + audit, all through the HTTP reader.
+	result, err := reader.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Counts[0] != 3 || result.Counts[1] != 1 {
+		t.Fatalf("counts = %v", result.Counts)
+	}
+	cl := &voter.Client{Ballot: data.Ballots[0], Services: services}
+	if err := cl.Verify(reader, results[0]); err != nil {
+		t.Fatalf("voter verify over http: %v", err)
+	}
+	report, err := auditor.Audit(reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("audit over http failed: %v", report.Failures)
+	}
+}
+
+func TestGobFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.gob")
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "gob-test",
+		Options:     []string{"a", "b"},
+		NumBallots:  2,
+		NumVC:       4,
+		NumBB:       1,
+		NumTrustees: 1,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("gob"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGobFile(path, &data.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	var got ea.Manifest
+	if err := ReadGobFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ElectionID != "gob-test" || len(got.VCPublics) != 4 {
+		t.Fatalf("round trip mangled manifest: %+v", got)
+	}
+	// Full BBInit (with points and big.Ints) must survive too.
+	bbPath := filepath.Join(t.TempDir(), "bb.gob")
+	if err := WriteGobFile(bbPath, data.BB); err != nil {
+		t.Fatal(err)
+	}
+	var bbInit ea.BBInit
+	if err := ReadGobFile(bbPath, &bbInit); err != nil {
+		t.Fatal(err)
+	}
+	if len(bbInit.Ballots) != 2 {
+		t.Fatal("bb init mangled")
+	}
+	orig := data.BB.Ballots[0].Parts[0][0].Commitment[0]
+	got2 := bbInit.Ballots[0].Parts[0][0].Commitment[0]
+	if !orig.A.Equal(got2.A) || !orig.B.Equal(got2.B) {
+		t.Fatal("ciphertext points mangled by gob")
+	}
+	if err := ReadGobFile(filepath.Join(t.TempDir(), "missing.gob"), &got); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -1,0 +1,112 @@
+package sig
+
+import (
+	"testing"
+
+	"ddemos/internal/crypto/group"
+)
+
+func TestSignVerify(t *testing.T) {
+	kp, err := NewKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sign(kp.Private, "domain", []byte("a"), []byte("b"))
+	if !Verify(kp.Public, s, "domain", []byte("a"), []byte("b")) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	kp, _ := NewKeyPair(nil)
+	s := Sign(kp.Private, "domain", []byte("a"), []byte("b"))
+	if Verify(kp.Public, s, "other", []byte("a"), []byte("b")) {
+		t.Fatal("wrong domain accepted")
+	}
+	if Verify(kp.Public, s, "domain", []byte("a"), []byte("c")) {
+		t.Fatal("wrong payload accepted")
+	}
+	if Verify(kp.Public, s, "domain", []byte("a")) {
+		t.Fatal("missing part accepted")
+	}
+	other, _ := NewKeyPair(nil)
+	if Verify(other.Public, s, "domain", []byte("a"), []byte("b")) {
+		t.Fatal("wrong key accepted")
+	}
+	bad := append([]byte(nil), s...)
+	bad[0] ^= 1
+	if Verify(kp.Public, bad, "domain", []byte("a"), []byte("b")) {
+		t.Fatal("corrupted signature accepted")
+	}
+}
+
+func TestVerifyRejectsMalformedInputs(t *testing.T) {
+	kp, _ := NewKeyPair(nil)
+	s := Sign(kp.Private, "d")
+	if Verify(nil, s, "d") {
+		t.Fatal("nil key accepted")
+	}
+	if Verify(kp.Public, nil, "d") {
+		t.Fatal("nil signature accepted")
+	}
+	if Verify(kp.Public, s[:10], "d") {
+		t.Fatal("short signature accepted")
+	}
+	if Verify(kp.Public[:5], s, "d") {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestChunkBoundariesAreDomainSeparated(t *testing.T) {
+	// ("ab","c") must not verify as ("a","bc"): length prefixing matters
+	// because protocol fields are attacker-influenced.
+	kp, _ := NewKeyPair(nil)
+	s := Sign(kp.Private, "d", []byte("ab"), []byte("c"))
+	if Verify(kp.Public, s, "d", []byte("a"), []byte("bc")) {
+		t.Fatal("chunk boundary confusion")
+	}
+}
+
+func TestDeterministicKeyGeneration(t *testing.T) {
+	rng1 := group.NewDRBG([]byte("seed"))
+	rng2 := group.NewDRBG([]byte("seed"))
+	k1, err := NewKeyPair(rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKeyPair(rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(k1.Public) != string(k2.Public) {
+		t.Fatal("same seed produced different keys")
+	}
+}
+
+func TestUint64Bytes(t *testing.T) {
+	b := Uint64Bytes(0x0102030405060708)
+	if len(b) != 8 || b[0] != 1 || b[7] != 8 {
+		t.Fatalf("encoding wrong: %x", b)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	kp, _ := NewKeyPair(nil)
+	payload := []byte("endorse-serial-code")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sign(kp.Private, "d", payload)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp, _ := NewKeyPair(nil)
+	payload := []byte("endorse-serial-code")
+	s := Sign(kp.Private, "d", payload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Verify(kp.Public, s, "d", payload) {
+			b.Fatal("must verify")
+		}
+	}
+}

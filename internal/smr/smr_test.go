@@ -1,0 +1,82 @@
+package smr
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ddemos/internal/consensus"
+	"ddemos/internal/transport"
+)
+
+func newReplicas(t *testing.T, n, f int) ([]*Node, *transport.Memnet) {
+	t.Helper()
+	net := transport.NewMemnet(transport.LinkProfile{Latency: 100 * time.Microsecond})
+	coin := consensus.NewHashCoin([]byte("smr-test"))
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(uint16(i), n, f, 0, net.Endpoint(transport.NodeID(i)), coin) //nolint:gosec // small
+		nodes[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		_ = net.Close()
+	})
+	return nodes, net
+}
+
+func TestOrderSingleSlot(t *testing.T) {
+	nodes, _ := newReplicas(t, 4, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := nodes[0].Order(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderManySlotsConcurrently(t *testing.T) {
+	nodes, _ := newReplicas(t, 4, 1)
+	const slots = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, slots)
+	for s := uint64(1); s <= slots; s++ {
+		wg.Add(1)
+		go func(slot uint64) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			errs <- nodes[int(slot)%4].Order(ctx, slot)
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOrderSurvivesCrashFault(t *testing.T) {
+	nodes, net := newReplicas(t, 4, 1)
+	net.Isolate(3, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := nodes[0].Order(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderTimesOutBeyondThreshold(t *testing.T) {
+	nodes, net := newReplicas(t, 4, 1)
+	net.Isolate(2, true)
+	net.Isolate(3, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := nodes[0].Order(ctx, 9); err == nil {
+		t.Fatal("ordering must not complete with 2 of 4 replicas down")
+	}
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Disk is a file-backed store with fixed-size records addressed directly by
+// serial number (serials are dense, starting at firstSerial). It replaces
+// the paper's PostgreSQL database for the large-pool experiments: lookups
+// cost one positional read, and performance degrades gracefully as the pool
+// outgrows the page cache (the Fig. 5a effect).
+//
+// File layout:
+//
+//	header: magic "DDVC" | version u16 | m u16 | firstSerial u64 | count u64
+//	then count records of 2*m lines, each line Hash(32)|Salt(8)|Share(32)|Sig(64)
+type Disk struct {
+	mu          sync.Mutex
+	f           *os.File
+	m           int // options per part
+	firstSerial uint64
+	count       uint64
+}
+
+var _ Store = (*Disk)(nil)
+
+const (
+	diskMagic    = "DDVC"
+	diskVersion  = 1
+	lineSize     = 32 + 8 + 32 + 64
+	headerSize   = 4 + 2 + 2 + 8 + 8
+	maxDiskLines = 1 << 16
+)
+
+// CreateDisk writes all ballots to path. Ballots must have dense serials
+// (first, first+1, ...) in order, all with the same number of options.
+func CreateDisk(path string, ballots []*BallotData) (*Disk, error) {
+	if len(ballots) == 0 {
+		return nil, fmt.Errorf("store: no ballots to write")
+	}
+	m := len(ballots[0].Lines[0])
+	first := ballots[0].Serial
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", path, err)
+	}
+	header := make([]byte, headerSize)
+	copy(header, diskMagic)
+	binary.BigEndian.PutUint16(header[4:], diskVersion)
+	binary.BigEndian.PutUint16(header[6:], uint16(m)) //nolint:gosec // small
+	binary.BigEndian.PutUint64(header[8:], first)
+	binary.BigEndian.PutUint64(header[16:], uint64(len(ballots)))
+	if _, err := f.Write(header); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: write header: %w", err)
+	}
+	rec := make([]byte, 2*m*lineSize)
+	for i, b := range ballots {
+		if b.Serial != first+uint64(i) { //nolint:gosec // dense serials
+			_ = f.Close()
+			return nil, fmt.Errorf("store: serial %d not dense (want %d)", b.Serial, first+uint64(i))
+		}
+		if len(b.Lines[0]) != m || len(b.Lines[1]) != m {
+			_ = f.Close()
+			return nil, fmt.Errorf("store: ballot %d has inconsistent line count", b.Serial)
+		}
+		off := 0
+		for part := 0; part < 2; part++ {
+			for row := 0; row < m; row++ {
+				l := &b.Lines[part][row]
+				copy(rec[off:], l.Hash[:])
+				copy(rec[off+32:], l.Salt[:])
+				copy(rec[off+40:], l.Share[:])
+				copy(rec[off+72:], l.ShareSig[:])
+				off += lineSize
+			}
+		}
+		if _, err := f.Write(rec); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("store: write ballot %d: %w", b.Serial, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: sync: %w", err)
+	}
+	return &Disk{f: f, m: m, firstSerial: first, count: uint64(len(ballots))}, nil
+}
+
+// OpenDisk opens an existing store file.
+func OpenDisk(path string) (*Disk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	header := make([]byte, headerSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	if string(header[:4]) != diskMagic {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: %s is not a ballot store", path)
+	}
+	if v := binary.BigEndian.Uint16(header[4:]); v != diskVersion {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	m := int(binary.BigEndian.Uint16(header[6:]))
+	if m == 0 || m > maxDiskLines {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: invalid option count %d", m)
+	}
+	return &Disk{
+		f:           f,
+		m:           m,
+		firstSerial: binary.BigEndian.Uint64(header[8:]),
+		count:       binary.BigEndian.Uint64(header[16:]),
+	}, nil
+}
+
+// Get implements Store via one positional read.
+func (d *Disk) Get(serial uint64) (*BallotData, error) {
+	if serial < d.firstSerial || serial >= d.firstSerial+d.count {
+		return nil, fmt.Errorf("%w: serial %d", ErrNotFound, serial)
+	}
+	recSize := int64(2 * d.m * lineSize)
+	off := int64(headerSize) + int64(serial-d.firstSerial)*recSize
+	rec := make([]byte, recSize)
+	if _, err := d.f.ReadAt(rec, off); err != nil {
+		return nil, fmt.Errorf("store: read serial %d: %w", serial, err)
+	}
+	b := &BallotData{Serial: serial}
+	pos := 0
+	for part := 0; part < 2; part++ {
+		b.Lines[part] = make([]Line, d.m)
+		for row := 0; row < d.m; row++ {
+			l := &b.Lines[part][row]
+			copy(l.Hash[:], rec[pos:])
+			copy(l.Salt[:], rec[pos+32:])
+			copy(l.Share[:], rec[pos+40:])
+			copy(l.ShareSig[:], rec[pos+72:])
+			pos += lineSize
+		}
+	}
+	return b, nil
+}
+
+// Count implements Store.
+func (d *Disk) Count() int { return int(d.count) } //nolint:gosec // test scale
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	err := d.f.Close()
+	d.f = nil
+	return err
+}

@@ -1,0 +1,73 @@
+// Package store holds a Vote Collector node's initialization data: per
+// ballot, per part, the shuffled ⟨hash-commitment, salt, receipt-share⟩
+// lines of §III-D. Two implementations are provided: an in-memory map (the
+// paper's "database eliminated" cache configuration used for the Fig. 4
+// scalability runs) and a disk-backed fixed-record file (standing in for
+// the paper's PostgreSQL store, exercised by the Fig. 5a pool-size sweep).
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Line is one stored ballot line (one vote-code row on one part, in
+// shuffled order).
+type Line struct {
+	Hash     [32]byte // SHA256(vote-code || salt)
+	Salt     [8]byte
+	Share    [32]byte // this node's receipt share (scalar, 32 bytes)
+	ShareSig [64]byte // EA signature over the share
+}
+
+// BallotData is everything a VC node knows about one ballot at setup.
+type BallotData struct {
+	Serial uint64
+	// Lines[part][row], rows in the same shuffled order as the BB payload.
+	Lines [2][]Line
+}
+
+// Store is the ballot-data access interface used by the VC node. Get must
+// be safe for concurrent use.
+type Store interface {
+	// Get returns the ballot data for serial, or ErrNotFound.
+	Get(serial uint64) (*BallotData, error)
+	// Count returns the number of ballots.
+	Count() int
+	// Close releases resources.
+	Close() error
+}
+
+// ErrNotFound is returned for unknown serial numbers.
+var ErrNotFound = errors.New("store: ballot not found")
+
+// Mem is the in-memory store.
+type Mem struct {
+	ballots map[uint64]*BallotData
+}
+
+var _ Store = (*Mem)(nil)
+
+// NewMem builds an in-memory store from setup data.
+func NewMem(ballots []*BallotData) *Mem {
+	m := &Mem{ballots: make(map[uint64]*BallotData, len(ballots))}
+	for _, b := range ballots {
+		m.ballots[b.Serial] = b
+	}
+	return m
+}
+
+// Get implements Store.
+func (m *Mem) Get(serial uint64) (*BallotData, error) {
+	b, ok := m.ballots[serial]
+	if !ok {
+		return nil, fmt.Errorf("%w: serial %d", ErrNotFound, serial)
+	}
+	return b, nil
+}
+
+// Count implements Store.
+func (m *Mem) Count() int { return len(m.ballots) }
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// LinkProfile describes the behaviour of a directed link in the simulated
+// network.
+type LinkProfile struct {
+	// Latency is the base one-way delivery delay.
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropRate is the probability a message is silently dropped.
+	DropRate float64
+	// DupRate is the probability a message is delivered twice.
+	DupRate float64
+}
+
+// Common profiles matching the paper's testbeds: a Gigabit LAN and the
+// netem-emulated WAN with 25 ms per-packet latency (§V).
+var (
+	LANProfile = LinkProfile{Latency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond}
+	WANProfile = LinkProfile{Latency: 25 * time.Millisecond, Jitter: 2 * time.Millisecond}
+)
+
+// Memnet is an in-process simulated network. Messages between endpoints are
+// delivered asynchronously after the link's configured delay; links can
+// drop, duplicate and reorder (via jitter), and nodes can be partitioned.
+type Memnet struct {
+	mu         sync.Mutex
+	defaultLP  LinkProfile
+	links      map[[2]NodeID]LinkProfile
+	eps        map[NodeID]*memEndpoint
+	blocked    map[[2]NodeID]bool
+	rng        *rand.Rand
+	closed     bool
+	inflight   sync.WaitGroup
+	totalSent  int64
+	totalBytes int64
+}
+
+// NewMemnet creates a simulated network with the given default link profile.
+func NewMemnet(def LinkProfile) *Memnet {
+	return &Memnet{
+		defaultLP: def,
+		links:     make(map[[2]NodeID]LinkProfile),
+		eps:       make(map[NodeID]*memEndpoint),
+		blocked:   make(map[[2]NodeID]bool),
+		// The RNG drives fault injection, not cryptography.
+		rng: rand.New(rand.NewPCG(0xD0D0, 0xCACA)), //nolint:gosec // simulation only
+	}
+}
+
+// SetLink overrides the profile of the directed link from -> to.
+func (n *Memnet) SetLink(from, to NodeID, lp LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]NodeID{from, to}] = lp
+}
+
+// SetDefault changes the default profile for links without an override.
+func (n *Memnet) SetDefault(lp LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultLP = lp
+}
+
+// Partition blocks all traffic between a and b (both directions) when on is
+// true, and restores it when false.
+func (n *Memnet) Partition(a, b NodeID, on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if on {
+		n.blocked[[2]NodeID{a, b}] = true
+		n.blocked[[2]NodeID{b, a}] = true
+	} else {
+		delete(n.blocked, [2]NodeID{a, b})
+		delete(n.blocked, [2]NodeID{b, a})
+	}
+}
+
+// Isolate blocks (or restores) all traffic to and from id, simulating a
+// crashed or unreachable node.
+func (n *Memnet) Isolate(id NodeID, on bool) {
+	n.mu.Lock()
+	ids := make([]NodeID, 0, len(n.eps))
+	for other := range n.eps {
+		if other != id {
+			ids = append(ids, other)
+		}
+	}
+	n.mu.Unlock()
+	for _, other := range ids {
+		n.Partition(id, other, on)
+	}
+}
+
+// Stats returns the total number of messages and payload bytes sent so far.
+func (n *Memnet) Stats() (msgs, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalSent, n.totalBytes
+}
+
+// Endpoint registers (or returns) the endpoint for id.
+func (n *Memnet) Endpoint(id NodeID) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[id]; ok {
+		return ep
+	}
+	ep := &memEndpoint{
+		id:     id,
+		net:    n,
+		out:    make(chan Envelope, 256),
+		wake:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	n.eps[id] = ep
+	go ep.pump()
+	return ep
+}
+
+// Close shuts the network down. Pending deliveries are dropped.
+func (n *Memnet) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*memEndpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+// profileFor returns the effective link profile from -> to.
+func (n *Memnet) profileFor(from, to NodeID) LinkProfile {
+	if lp, ok := n.links[[2]NodeID{from, to}]; ok {
+		return lp
+	}
+	return n.defaultLP
+}
+
+// send schedules delivery of payload on the from->to link.
+func (n *Memnet) send(from, to NodeID, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.eps[to]
+	if !ok {
+		n.mu.Unlock()
+		return ErrUnknownPeer
+	}
+	if n.blocked[[2]NodeID{from, to}] {
+		// Silently dropped: an unreachable peer looks identical to a lossy
+		// link from the sender's perspective.
+		n.mu.Unlock()
+		return nil
+	}
+	lp := n.profileFor(from, to)
+	copies := 1
+	if lp.DropRate > 0 && n.rng.Float64() < lp.DropRate {
+		copies = 0
+	} else if lp.DupRate > 0 && n.rng.Float64() < lp.DupRate {
+		copies = 2
+	}
+	delays := make([]time.Duration, 0, copies)
+	for i := 0; i < copies; i++ {
+		d := lp.Latency
+		if lp.Jitter > 0 {
+			d += time.Duration(n.rng.Int64N(int64(lp.Jitter)))
+		}
+		delays = append(delays, d)
+	}
+	n.totalSent++
+	n.totalBytes += int64(len(payload))
+	n.mu.Unlock()
+
+	env := Envelope{From: from, To: to, Payload: payload}
+	for _, d := range delays {
+		if d <= 0 {
+			dst.enqueue(env)
+			continue
+		}
+		n.inflight.Add(1)
+		time.AfterFunc(d, func() {
+			defer n.inflight.Done()
+			dst.enqueue(env)
+		})
+	}
+	return nil
+}
+
+// memEndpoint buffers incoming messages in an unbounded queue so senders
+// never block, then pumps them into the Recv channel.
+type memEndpoint struct {
+	id  NodeID
+	net *Memnet
+
+	mu     sync.Mutex
+	queue  []Envelope
+	dead   bool
+	out    chan Envelope
+	wake   chan struct{}
+	closed chan struct{}
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+// ID implements Endpoint.
+func (e *memEndpoint) ID() NodeID { return e.id }
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(to NodeID, payload []byte) error {
+	return e.net.send(e.id, to, payload)
+}
+
+// Recv implements Endpoint.
+func (e *memEndpoint) Recv() <-chan Envelope { return e.out }
+
+// Close implements Endpoint.
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return nil
+	}
+	e.dead = true
+	close(e.closed)
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *memEndpoint) enqueue(env Envelope) {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, env)
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves messages from the unbounded queue to the Recv channel.
+func (e *memEndpoint) pump() {
+	defer close(e.out)
+	for {
+		e.mu.Lock()
+		var env Envelope
+		have := false
+		if len(e.queue) > 0 {
+			env = e.queue[0]
+			e.queue = e.queue[1:]
+			have = true
+		}
+		e.mu.Unlock()
+		if have {
+			select {
+			case e.out <- env:
+			case <-e.closed:
+				return
+			}
+			continue
+		}
+		select {
+		case <-e.wake:
+		case <-e.closed:
+			return
+		}
+	}
+}

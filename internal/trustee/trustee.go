@@ -1,0 +1,189 @@
+// Package trustee implements the trustees of §III-H: the Nt share-holding
+// parties who, after the election, read the agreed vote set from the
+// Bulletin Board (by majority), validate it, and jointly produce — without
+// ever reconstructing any secret locally —
+//
+//   - the openings of every audit row (unused ballot parts and both parts
+//     of unvoted ballots),
+//   - the final moves of the zero-knowledge proofs for every used part
+//     (under the voter-coin challenge), and
+//   - their share T_ℓ of the opening of the homomorphic tally.
+//
+// Any ht honest trustees suffice; fewer than ht shares reveal nothing.
+package trustee
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/crypto/group"
+	"ddemos/internal/crypto/zkp"
+	"ddemos/internal/ea"
+	"ddemos/internal/sig"
+)
+
+// Byzantine selects trustee fault injection for tests.
+type Byzantine int
+
+// Trustee behaviours.
+const (
+	// Honest follows the protocol.
+	Honest Byzantine = iota
+	// GarbageShares posts random-looking shares under a valid signature
+	// (the attack BB subset search must reject).
+	GarbageShares
+)
+
+// Trustee is one trustee.
+type Trustee struct {
+	init *ea.TrusteeInit
+	byz  Byzantine
+}
+
+// New builds a trustee from its initialization data.
+func New(init *ea.TrusteeInit) (*Trustee, error) {
+	if init == nil {
+		return nil, errors.New("trustee: missing init data")
+	}
+	return &Trustee{init: init}, nil
+}
+
+// SetByzantine enables fault injection (tests only).
+func (t *Trustee) SetByzantine(b Byzantine) { t.byz = b }
+
+// Index returns the trustee's 0-based index.
+func (t *Trustee) Index() int { return t.init.Index }
+
+// ComputePost reads the election outcome from the BB (majority) and
+// produces this trustee's post.
+func (t *Trustee) ComputePost(reader *bb.Reader) (*bb.TrusteePost, error) {
+	cast, err := reader.Cast()
+	if err != nil {
+		return nil, fmt.Errorf("trustee %d: reading cast data: %w", t.init.Index, err)
+	}
+	return t.post(cast)
+}
+
+// post derives the trustee's contribution from the published cast data.
+func (t *Trustee) post(cast *bb.CastData) (*bb.TrusteePost, error) {
+	man := &t.init.Manifest
+	m := len(man.Options)
+	master := zkp.MasterChallenge(man.ElectionID, cast.Coins)
+
+	// Validate the vote set the way §III-H prescribes: a ballot with both
+	// parts marked voted, or with more than MaxSelections codes on a part,
+	// is invalid and treated as unvoted (both parts opened, no tally
+	// contribution).
+	marks := make(map[uint64][]bb.CastMark, len(cast.Marks))
+	for _, mk := range cast.Marks {
+		marks[mk.Serial] = append(marks[mk.Serial], mk)
+	}
+	usedPartOf := make(map[uint64]int, len(marks))
+	for serial, ms := range marks {
+		part := int(ms[0].Part)
+		valid := len(ms) <= man.MaxSelections
+		for _, mk := range ms {
+			if int(mk.Part) != part {
+				valid = false // both parts used: discard ballot
+			}
+		}
+		if valid {
+			usedPartOf[serial] = part
+		}
+	}
+
+	post := &bb.TrusteePost{
+		Trustee:    t.init.Index,
+		ShareIndex: uint32(t.init.Index) + 1, //nolint:gosec // small
+		TallyMs:    zeroScalars(m),
+		TallyRs:    zeroScalars(m),
+	}
+
+	for bi := range t.init.Ballots {
+		tb := &t.init.Ballots[bi]
+		usedPart, voted := usedPartOf[tb.Serial]
+		for part := 0; part < 2; part++ {
+			rows := tb.Parts[part]
+			if voted && part == usedPart {
+				// Used part: finalize proofs for every row.
+				for row := range rows {
+					tr := &rows[row]
+					bits := make([]zkp.BitFinal, m)
+					for col := 0; col < m; col++ {
+						c := zkp.DeriveChallenge(master, tb.Serial, uint8(part), row, col) //nolint:gosec // part<2
+						bits[col] = tr.BitCoeffs[col].Finalize(c)
+					}
+					cSum := zkp.DeriveChallenge(master, tb.Serial, uint8(part), row, zkp.SumProofCol) //nolint:gosec // part<2
+					post.Proofs = append(post.Proofs, bb.ProofFinalShare{
+						Serial: tb.Serial, Part: uint8(part), Row: row, //nolint:gosec // part<2
+						Bits: bits, Sum: tr.SumCoeffs.Finalize(cSum),
+					})
+				}
+				// Tally share: add the cast rows' opening shares (additive
+				// homomorphism of the secret sharing, §III-B).
+				for _, mk := range marks[tb.Serial] {
+					tr := &rows[mk.Row]
+					for col := 0; col < m; col++ {
+						post.TallyMs[col] = group.AddScalar(post.TallyMs[col], tr.MShares[col])
+						post.TallyRs[col] = group.AddScalar(post.TallyRs[col], tr.RShares[col])
+					}
+				}
+				continue
+			}
+			// Audit part: disclose opening shares.
+			for row := range rows {
+				tr := &rows[row]
+				post.Openings = append(post.Openings, bb.OpeningShare{
+					Serial: tb.Serial, Part: uint8(part), Row: row, //nolint:gosec // part<2
+					Ms: cloneScalars(tr.MShares), Rs: cloneScalars(tr.RShares),
+				})
+			}
+		}
+	}
+
+	if t.byz == GarbageShares {
+		for i := range post.TallyMs {
+			post.TallyMs[i] = group.AddScalar(post.TallyMs[i], big.NewInt(1337))
+		}
+		if len(post.Openings) > 0 {
+			post.Openings[0].Ms[0] = group.AddScalar(post.Openings[0].Ms[0], big.NewInt(7))
+		}
+	}
+
+	hash := bb.HashPost(man.ElectionID, post)
+	post.Sig = sig.Sign(t.init.Private, "ddemos/v1/trustee-post", hash[:])
+	return post, nil
+}
+
+// PublishTo computes the post once and submits it to every BB node.
+func (t *Trustee) PublishTo(reader *bb.Reader, nodes []*bb.Node) error {
+	post, err := t.ComputePost(reader)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, n := range nodes {
+		if err := n.SubmitTrusteePost(post); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trustee %d: submitting post: %w", t.init.Index, err)
+		}
+	}
+	return firstErr
+}
+
+func zeroScalars(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	return out
+}
+
+func cloneScalars(in []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(in))
+	for i, v := range in {
+		out[i] = new(big.Int).Set(v)
+	}
+	return out
+}

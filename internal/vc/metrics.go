@@ -1,0 +1,63 @@
+package vc
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects the node's operational counters. The per-step timing
+// sums instrument the liveness analysis of §IV-A (Table I): EndorseNanos
+// covers vote receipt through UCERT formation, VoteNanos the full
+// receipt-issuing path.
+type Metrics struct {
+	VotesAccepted atomic.Int64
+	BadMessages   atomic.Int64
+	BadShares     atomic.Int64
+	SendErrors    atomic.Int64
+	Recoveries    atomic.Int64
+
+	EndorseNanos atomic.Int64 // cumulative endorsement-phase time (responder)
+	EndorseCount atomic.Int64
+	VoteNanos    atomic.Int64 // cumulative full vote time (responder)
+	VoteCount    atomic.Int64
+}
+
+func (m *Metrics) observeEndorse(d time.Duration) {
+	m.EndorseNanos.Add(int64(d))
+	m.EndorseCount.Add(1)
+}
+
+func (m *Metrics) observeVote(d time.Duration) {
+	m.VoteNanos.Add(int64(d))
+	m.VoteCount.Add(1)
+}
+
+// Snapshot is a point-in-time copy of the metrics.
+type Snapshot struct {
+	VotesAccepted int64
+	BadMessages   int64
+	BadShares     int64
+	SendErrors    int64
+	Recoveries    int64
+
+	AvgEndorse time.Duration
+	AvgVote    time.Duration
+}
+
+// Metrics returns a snapshot of the node's counters.
+func (n *Node) Metrics() Snapshot {
+	s := Snapshot{
+		VotesAccepted: n.metrics.VotesAccepted.Load(),
+		BadMessages:   n.metrics.BadMessages.Load(),
+		BadShares:     n.metrics.BadShares.Load(),
+		SendErrors:    n.metrics.SendErrors.Load(),
+		Recoveries:    n.metrics.Recoveries.Load(),
+	}
+	if c := n.metrics.EndorseCount.Load(); c > 0 {
+		s.AvgEndorse = time.Duration(n.metrics.EndorseNanos.Load() / c)
+	}
+	if c := n.metrics.VoteCount.Load(); c > 0 {
+		s.AvgVote = time.Duration(n.metrics.VoteNanos.Load() / c)
+	}
+	return s
+}

@@ -1,0 +1,738 @@
+// Package vc implements the Vote Collection subsystem, the paper's central
+// contribution (§III-E): a distributed set of Nv nodes (tolerating
+// fv < Nv/3 Byzantine) that collects votes during election hours and hands
+// each voter a receipt proving her vote was recorded as cast — without any
+// cryptography on the voter's device.
+//
+// The voting protocol per ballot: the node a voter contacts (the responder)
+// validates the vote code against its salted-hash commitments, multicasts
+// ENDORSE, gathers Nv-fv ENDORSEMENT signatures into a uniqueness
+// certificate (UCERT), then multicasts VOTE_P disclosing its receipt share.
+// Every node that sees a valid VOTE_P joins in, and whoever collects Nv-fv
+// valid shares reconstructs the receipt. The UCERT guarantees at most one
+// vote code per ballot can ever be certified; receipt reconstruction
+// requires Nv-fv shares, so any two reconstructions share an honest node —
+// the pivot of the vote-set-consensus safety argument.
+//
+// There is no total ordering and no state machine replication: requests for
+// different ballots proceed completely independently (§II).
+package vc
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"ddemos/internal/clock"
+	"ddemos/internal/consensus"
+	"ddemos/internal/crypto/group"
+	"ddemos/internal/crypto/shamir"
+	"ddemos/internal/crypto/votecode"
+	"ddemos/internal/ea"
+	"ddemos/internal/sig"
+	"ddemos/internal/store"
+	"ddemos/internal/transport"
+	"ddemos/internal/wire"
+)
+
+// Sentinel errors surfaced to voters.
+var (
+	// ErrOutsideHours is returned outside the election window.
+	ErrOutsideHours = errors.New("vc: outside election hours")
+	// ErrUnknownBallot is returned for serials not in this election.
+	ErrUnknownBallot = errors.New("vc: unknown ballot serial")
+	// ErrInvalidCode is returned when a vote code doesn't match any line.
+	ErrInvalidCode = errors.New("vc: invalid vote code")
+	// ErrAlreadyVoted is returned when the ballot is bound to another code.
+	ErrAlreadyVoted = errors.New("vc: ballot already used with a different vote code")
+	// ErrStopped is returned after the node shuts down.
+	ErrStopped = errors.New("vc: node stopped")
+)
+
+// endorseDomain is the signature domain of ENDORSEMENT messages.
+const endorseDomain = "ddemos/v1/endorse"
+
+// voteSetDomain is the signature domain for the final vote set pushed to BB.
+const voteSetDomain = "ddemos/v1/vote-set"
+
+// Byzantine selects a fault-injection behaviour for testing the protocol's
+// tolerance thresholds. The zero value is honest.
+type Byzantine int
+
+// Byzantine behaviours.
+const (
+	// Honest follows the protocol.
+	Honest Byzantine = iota
+	// Equivocator endorses every code it is asked to, violating its
+	// uniqueness duty (the attack UCERTs defend against).
+	Equivocator
+	// ShareCorruptor sends garbage receipt shares in VOTE_P.
+	ShareCorruptor
+	// ConsensusLiar flips all its inputs to vote-set consensus.
+	ConsensusLiar
+)
+
+// Config assembles a VC node.
+type Config struct {
+	Init *ea.VCInit
+	// Store defaults to an in-memory store built from Init.Ballots.
+	Store store.Store
+	// Endpoint carries inter-VC traffic. Node i must be network id i.
+	Endpoint transport.Endpoint
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Coin defaults to a hash coin derived from the election ID.
+	Coin consensus.Coin
+	// Byzantine selects fault injection (tests only).
+	Byzantine Byzantine
+	// Workers sizes the message-processing pool (default 8).
+	Workers int
+}
+
+// Node is one Vote Collector.
+type Node struct {
+	manifest ea.Manifest
+	self     uint16
+	nv, fv   int
+	hv       int // Nv - fv: endorsement / share threshold
+	priv     ed25519.PrivateKey
+	eaPub    ed25519.PublicKey
+	vcPubs   []ed25519.PublicKey
+	mskShare ea.MskShare
+	st       store.Store
+	ep       transport.Endpoint
+	clk      clock.Clock
+	coin     consensus.Coin
+	byz      Byzantine
+	peers    []transport.NodeID
+
+	shards [64]shard
+
+	endorseMu  sync.Mutex
+	collectors map[collectorKey]*endorseCollector
+
+	vscMu     sync.Mutex
+	vsc       *vscEngine
+	vscBuffer []bufferedMsg
+
+	metrics Metrics
+
+	workers []chan job
+	done    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+type shard struct {
+	mu      sync.Mutex
+	ballots map[uint64]*ballotState
+}
+
+type collectorKey struct {
+	serial uint64
+	code   string
+}
+
+type endorseCollector struct {
+	sigs map[uint16][]byte
+	need int
+	done chan struct{}
+}
+
+type bufferedMsg struct {
+	from uint16
+	msg  wire.Message
+}
+
+type job struct {
+	from uint16
+	msg  wire.Message
+}
+
+// ballotState is the runtime state of one ballot on this node.
+type ballotState struct {
+	mu           sync.Mutex
+	status       Status
+	endorsedCode []byte // the single code this node will endorse
+	usedCode     []byte
+	part         uint8
+	row          int
+	cert         *wire.UCert
+	shares       map[uint32]*big.Int
+	sentVoteP    bool
+	receipt      []byte
+	waiters      []chan voteOutcome
+}
+
+type voteOutcome struct {
+	receipt []byte
+	err     error
+}
+
+// Status is a ballot's voting-protocol state (§III-E).
+type Status uint8
+
+// Ballot states.
+const (
+	NotVoted Status = iota
+	Pending
+	Voted
+)
+
+// New builds a node from its initialization data.
+func New(cfg Config) (*Node, error) {
+	if cfg.Init == nil {
+		return nil, errors.New("vc: missing init data")
+	}
+	if cfg.Endpoint == nil {
+		return nil, errors.New("vc: missing endpoint")
+	}
+	man := cfg.Init.Manifest
+	n := &Node{
+		manifest: man,
+		self:     uint16(cfg.Init.Index), //nolint:gosec // <= 64
+		nv:       man.NumVC,
+		fv:       man.FaultyVC(),
+		hv:       man.ReceiptThreshold(),
+		priv:     cfg.Init.Private,
+		eaPub:    man.EAPublic,
+		vcPubs:   man.VCPublics,
+		mskShare: cfg.Init.Msk,
+		st:       cfg.Store,
+		ep:       cfg.Endpoint,
+		clk:      cfg.Clock,
+		coin:     cfg.Coin,
+		byz:      cfg.Byzantine,
+		done:     make(chan struct{}),
+
+		collectors: make(map[collectorKey]*endorseCollector),
+	}
+	if n.st == nil {
+		n.st = store.NewMem(cfg.Init.Ballots)
+	}
+	if n.clk == nil {
+		n.clk = clock.Real{}
+	}
+	if n.coin == nil {
+		n.coin = consensus.NewHashCoin([]byte(man.ElectionID))
+	}
+	for i := range n.shards {
+		n.shards[i].ballots = make(map[uint64]*ballotState)
+	}
+	n.peers = make([]transport.NodeID, n.nv)
+	for i := range n.peers {
+		n.peers[i] = transport.NodeID(i) //nolint:gosec // <= 64
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	n.workers = make([]chan job, workers)
+	for i := range n.workers {
+		n.workers[i] = make(chan job, 1024)
+	}
+	return n, nil
+}
+
+// Start launches the message pump and worker pool.
+func (n *Node) Start() {
+	for i := range n.workers {
+		n.wg.Add(1)
+		go n.workerLoop(n.workers[i])
+	}
+	n.wg.Add(1)
+	go n.pump()
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *Node) Stop() {
+	n.stopped.Do(func() {
+		close(n.done)
+		_ = n.ep.Close()
+	})
+	n.wg.Wait()
+}
+
+// Index returns the node's 0-based index.
+func (n *Node) Index() int { return int(n.self) }
+
+// MskShare returns the node's signed master-key share (pushed to BB nodes
+// after vote-set consensus).
+func (n *Node) MskShare() ea.MskShare { return n.mskShare }
+
+// pump decodes frames and routes them: ballot-protocol messages to the
+// serial-affine worker pool (per-ballot ordering, parallel across ballots),
+// consensus traffic to the vote-set-consensus engine.
+func (n *Node) pump() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case env, ok := <-n.ep.Recv():
+			if !ok {
+				return
+			}
+			msg, err := wire.Decode(env.Payload)
+			if err != nil {
+				n.metrics.BadMessages.Add(1)
+				continue
+			}
+			from := uint16(env.From) //nolint:gosec // validated below
+			if int(from) >= n.nv {
+				n.metrics.BadMessages.Add(1)
+				continue
+			}
+			switch m := msg.(type) {
+			case *wire.Endorse:
+				n.dispatch(m.Serial, job{from, msg})
+			case *wire.Endorsement:
+				n.dispatch(m.Serial, job{from, msg})
+			case *wire.VoteP:
+				n.dispatch(m.Serial, job{from, msg})
+			case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse:
+				n.routeConsensus(from, msg)
+			}
+		}
+	}
+}
+
+func (n *Node) dispatch(serial uint64, j job) {
+	w := n.workers[serial%uint64(len(n.workers))]
+	select {
+	case w <- j:
+	case <-n.done:
+	}
+}
+
+func (n *Node) workerLoop(ch chan job) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case j := <-ch:
+			switch m := j.msg.(type) {
+			case *wire.Endorse:
+				n.onEndorse(j.from, m)
+			case *wire.Endorsement:
+				n.onEndorsement(j.from, m)
+			case *wire.VoteP:
+				n.onVoteP(j.from, m)
+			}
+		}
+	}
+}
+
+// state returns (creating if needed) the runtime state for a serial.
+func (n *Node) state(serial uint64) *ballotState {
+	sh := &n.shards[serial%64]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.ballots[serial]
+	if !ok {
+		st = &ballotState{}
+		sh.ballots[serial] = st
+	}
+	return st
+}
+
+// withinHours checks the paper's only clock dependency.
+func (n *Node) withinHours() bool {
+	now := n.clk.Now()
+	return !now.Before(n.manifest.VotingStart) && now.Before(n.manifest.VotingEnd)
+}
+
+// locate validates a vote code against the ballot's hash commitments,
+// returning the store data and the (part, row) of the matching line.
+func (n *Node) locate(serial uint64, code []byte) (*store.BallotData, uint8, int, error) {
+	bd, err := n.st.Get(serial)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: %d", ErrUnknownBallot, serial)
+	}
+	for part := 0; part < 2; part++ {
+		for row := range bd.Lines[part] {
+			l := &bd.Lines[part][row]
+			if votecode.VerifyCommit(l.Hash, code, l.Salt[:]) {
+				return bd, uint8(part), row, nil //nolint:gosec // part < 2
+			}
+		}
+	}
+	return nil, 0, 0, ErrInvalidCode
+}
+
+// ownShare extracts and validates this node's receipt share for a line.
+func (n *Node) ownShare(bd *store.BallotData, part uint8, row int) (shamir.Share, []byte, error) {
+	l := &bd.Lines[part][row]
+	v, err := group.DecodeScalar(l.Share[:])
+	if err != nil {
+		return shamir.Share{}, nil, fmt.Errorf("vc: corrupt stored share: %w", err)
+	}
+	return shamir.Share{Index: uint32(n.self) + 1, Value: v}, l.ShareSig[:], nil
+}
+
+// SubmitVote is the voter-facing entry point (the responder role). It
+// returns the reconstructed receipt, blocking until the protocol completes
+// or ctx expires.
+func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]byte, error) {
+	t0 := time.Now()
+	if !n.withinHours() {
+		return nil, ErrOutsideHours
+	}
+	bd, part, row, err := n.locate(serial, code)
+	if err != nil {
+		return nil, err
+	}
+	st := n.state(serial)
+
+	st.mu.Lock()
+	switch st.status {
+	case Voted:
+		if bytes.Equal(st.usedCode, code) {
+			r := st.receipt
+			st.mu.Unlock()
+			return r, nil
+		}
+		st.mu.Unlock()
+		return nil, ErrAlreadyVoted
+	case Pending:
+		if !bytes.Equal(st.usedCode, code) {
+			st.mu.Unlock()
+			return nil, ErrAlreadyVoted
+		}
+		// Another flow is reconstructing this same vote: wait with it.
+		ch := make(chan voteOutcome, 1)
+		st.waiters = append(st.waiters, ch)
+		st.mu.Unlock()
+		return n.awaitOutcome(ctx, ch)
+	case NotVoted:
+		if st.endorsedCode != nil && !bytes.Equal(st.endorsedCode, code) {
+			st.mu.Unlock()
+			return nil, ErrAlreadyVoted
+		}
+		st.endorsedCode = append([]byte(nil), code...)
+	}
+	st.mu.Unlock()
+
+	// Collect Nv-fv endorsements (ours included).
+	cert, err := n.collectEndorsements(ctx, serial, code)
+	if err != nil {
+		return nil, err
+	}
+	n.metrics.observeEndorse(time.Since(t0))
+
+	share, shareSig, err := n.ownShare(bd, part, row)
+	if err != nil {
+		return nil, err
+	}
+
+	ch := make(chan voteOutcome, 1)
+	st.mu.Lock()
+	if st.status == NotVoted {
+		st.status = Pending
+		st.usedCode = append([]byte(nil), code...)
+		st.part, st.row = part, row
+		st.cert = cert
+		st.shares = map[uint32]*big.Int{share.Index: share.Value}
+		st.sentVoteP = true
+	}
+	switch {
+	case st.status == Voted && bytes.Equal(st.usedCode, code):
+		r := st.receipt
+		st.mu.Unlock()
+		return r, nil
+	case !bytes.Equal(st.usedCode, code):
+		st.mu.Unlock()
+		return nil, ErrAlreadyVoted
+	default:
+		st.waiters = append(st.waiters, ch)
+		st.mu.Unlock()
+	}
+
+	n.multicastVoteP(serial, code, share, shareSig, cert)
+	receipt, err := n.awaitOutcome(ctx, ch)
+	if err == nil {
+		n.metrics.observeVote(time.Since(t0))
+		n.metrics.VotesAccepted.Add(1)
+	}
+	return receipt, err
+}
+
+func (n *Node) awaitOutcome(ctx context.Context, ch chan voteOutcome) ([]byte, error) {
+	select {
+	case out := <-ch:
+		return out.receipt, out.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("vc: waiting for receipt: %w", ctx.Err())
+	case <-n.done:
+		return nil, ErrStopped
+	}
+}
+
+// collectEndorsements multicasts ENDORSE and waits for Nv-fv valid
+// signatures, returning the uniqueness certificate.
+func (n *Node) collectEndorsements(ctx context.Context, serial uint64, code []byte) (*wire.UCert, error) {
+	key := collectorKey{serial: serial, code: string(code)}
+	n.endorseMu.Lock()
+	col, exists := n.collectors[key]
+	if !exists {
+		col = &endorseCollector{sigs: make(map[uint16][]byte, n.hv), need: n.hv, done: make(chan struct{})}
+		// Self-endorsement.
+		col.sigs[n.self] = n.endorseSig(serial, code)
+		n.collectors[key] = col
+	}
+	n.endorseMu.Unlock()
+
+	if !exists {
+		frame := wire.Encode(&wire.Endorse{Serial: serial, Code: code})
+		if err := transport.Multicast(n.ep, n.peers, frame); err != nil {
+			n.metrics.SendErrors.Add(1)
+		}
+	}
+	select {
+	case <-col.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("vc: collecting endorsements: %w", ctx.Err())
+	case <-n.done:
+		return nil, ErrStopped
+	}
+	n.endorseMu.Lock()
+	cert := &wire.UCert{Serial: serial, Code: append([]byte(nil), code...)}
+	for signer, sg := range col.sigs {
+		cert.Sigs = append(cert.Sigs, wire.SigEntry{Signer: signer, Sig: sg})
+		if len(cert.Sigs) == n.hv {
+			break
+		}
+	}
+	delete(n.collectors, key)
+	n.endorseMu.Unlock()
+	return cert, nil
+}
+
+func (n *Node) endorseSig(serial uint64, code []byte) []byte {
+	return sig.Sign(n.priv, endorseDomain, []byte(n.manifest.ElectionID), sig.Uint64Bytes(serial), code)
+}
+
+// VerifyUCert checks a uniqueness certificate against the VC public keys.
+func (n *Node) VerifyUCert(cert *wire.UCert) bool {
+	return VerifyUCert(cert, n.manifest.ElectionID, n.vcPubs, n.hv)
+}
+
+// VerifyUCert checks that cert carries at least threshold distinct valid
+// endorsement signatures.
+func VerifyUCert(cert *wire.UCert, electionID string, vcPubs []ed25519.PublicKey, threshold int) bool {
+	if cert == nil || len(cert.Sigs) < threshold {
+		return false
+	}
+	seen := make(map[uint16]bool, len(cert.Sigs))
+	valid := 0
+	for _, e := range cert.Sigs {
+		if int(e.Signer) >= len(vcPubs) || seen[e.Signer] {
+			continue
+		}
+		seen[e.Signer] = true
+		if sig.Verify(vcPubs[e.Signer], e.Sig, endorseDomain,
+			[]byte(electionID), sig.Uint64Bytes(cert.Serial), cert.Code) {
+			valid++
+			if valid >= threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// onEndorse handles a responder's endorsement request: endorse iff we have
+// not endorsed a different code for this ballot (an Equivocator endorses
+// anything).
+func (n *Node) onEndorse(from uint16, m *wire.Endorse) {
+	if !n.withinHours() {
+		return
+	}
+	if _, _, _, err := n.locate(m.Serial, m.Code); err != nil {
+		return
+	}
+	st := n.state(m.Serial)
+	st.mu.Lock()
+	switch {
+	case n.byz == Equivocator:
+		// Sign regardless — the attack UCERT formation must defeat.
+	case st.endorsedCode == nil && st.status == NotVoted:
+		st.endorsedCode = append([]byte(nil), m.Code...)
+	case !bytes.Equal(st.endorsedCode, m.Code) && !bytes.Equal(st.usedCode, m.Code):
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+	reply := &wire.Endorsement{Serial: m.Serial, Code: m.Code, Signer: n.self, Sig: n.endorseSig(m.Serial, m.Code)}
+	if err := n.ep.Send(transport.NodeID(from), wire.Encode(reply)); err != nil {
+		n.metrics.SendErrors.Add(1)
+	}
+}
+
+// onEndorsement records an endorsement signature for a pending collection.
+func (n *Node) onEndorsement(from uint16, m *wire.Endorsement) {
+	if m.Signer != from || int(m.Signer) >= len(n.vcPubs) {
+		return
+	}
+	if !sig.Verify(n.vcPubs[m.Signer], m.Sig, endorseDomain,
+		[]byte(n.manifest.ElectionID), sig.Uint64Bytes(m.Serial), m.Code) {
+		n.metrics.BadMessages.Add(1)
+		return
+	}
+	key := collectorKey{serial: m.Serial, code: string(m.Code)}
+	n.endorseMu.Lock()
+	defer n.endorseMu.Unlock()
+	col, ok := n.collectors[key]
+	if !ok {
+		return
+	}
+	if _, dup := col.sigs[m.Signer]; dup {
+		return
+	}
+	col.sigs[m.Signer] = m.Sig
+	if len(col.sigs) == col.need {
+		close(col.done)
+	}
+}
+
+// multicastVoteP discloses a receipt share (a ShareCorruptor corrupts it).
+func (n *Node) multicastVoteP(serial uint64, code []byte, share shamir.Share, shareSig []byte, cert *wire.UCert) {
+	value := group.ScalarBytes(share.Value)
+	if n.byz == ShareCorruptor {
+		value = make([]byte, 32)
+		value[31] = 0x42
+	}
+	msg := &wire.VoteP{
+		Serial:     serial,
+		Code:       code,
+		ShareIndex: share.Index,
+		ShareValue: value,
+		ShareSig:   shareSig,
+		Cert:       *cert,
+	}
+	if err := transport.Multicast(n.ep, n.peers, wire.Encode(msg)); err != nil {
+		n.metrics.SendErrors.Add(1)
+	}
+}
+
+// onVoteP validates a disclosed share (UCERT first, per §III-E) and joins
+// the disclosure round; reconstruction fires at Nv-fv shares.
+func (n *Node) onVoteP(from uint16, m *wire.VoteP) {
+	if !n.withinHours() {
+		return
+	}
+	if m.ShareIndex != uint32(from)+1 {
+		return // nodes may only disclose their own share
+	}
+	cert := m.Cert
+	if cert.Serial != m.Serial || !bytes.Equal(cert.Code, m.Code) || !n.VerifyUCert(&cert) {
+		n.metrics.BadMessages.Add(1)
+		return
+	}
+	bd, part, row, err := n.locate(m.Serial, m.Code)
+	if err != nil {
+		return
+	}
+	// Validate the disclosed share against the EA signature.
+	shareVal, err := group.DecodeScalar(m.ShareValue)
+	if err != nil {
+		n.metrics.BadMessages.Add(1)
+		return
+	}
+	peerShare := shamir.Share{Index: m.ShareIndex, Value: shareVal}
+	lineHash := bd.Lines[part][row].Hash
+	if !ea.VerifyReceiptShare(n.eaPub, m.ShareSig, n.manifest.ElectionID, m.Serial, lineHash, peerShare) {
+		n.metrics.BadShares.Add(1)
+		return
+	}
+
+	st := n.state(m.Serial)
+	var disclose bool
+	var ownSh shamir.Share
+	var ownSig []byte
+	var discloseCode []byte
+	var discloseCert *wire.UCert
+
+	st.mu.Lock()
+	switch st.status {
+	case NotVoted:
+		st.status = Pending
+		st.usedCode = append([]byte(nil), m.Code...)
+		st.part, st.row = part, row
+		st.cert = &cert
+		st.shares = map[uint32]*big.Int{peerShare.Index: peerShare.Value}
+	case Pending, Voted:
+		if !bytes.Equal(st.usedCode, m.Code) {
+			// Impossible with honest-majority UCERTs; drop defensively.
+			st.mu.Unlock()
+			n.metrics.BadMessages.Add(1)
+			return
+		}
+		if st.shares == nil {
+			st.shares = make(map[uint32]*big.Int, n.hv)
+		}
+		st.shares[peerShare.Index] = peerShare.Value
+	}
+	if !st.sentVoteP {
+		st.sentVoteP = true
+		own, sg, err := n.ownShare(bd, part, row)
+		if err == nil {
+			st.shares[own.Index] = own.Value
+			disclose = true
+			ownSh, ownSig = own, sg
+			discloseCode = st.usedCode
+			discloseCert = st.cert
+		}
+	}
+	n.maybeReconstructLocked(st)
+	st.mu.Unlock()
+
+	if disclose {
+		n.multicastVoteP(m.Serial, discloseCode, ownSh, ownSig, discloseCert)
+	}
+}
+
+// maybeReconstructLocked reconstructs the receipt once Nv-fv shares are in.
+// Caller holds st.mu.
+func (n *Node) maybeReconstructLocked(st *ballotState) {
+	if st.status == Voted || len(st.shares) < n.hv {
+		return
+	}
+	shares := make([]shamir.Share, 0, n.hv)
+	for idx, v := range st.shares {
+		shares = append(shares, shamir.Share{Index: idx, Value: v})
+		if len(shares) == n.hv {
+			break
+		}
+	}
+	secret, err := shamir.Combine(shares, n.hv)
+	if err != nil {
+		return
+	}
+	receipt, err := shamir.ScalarToSecret(secret)
+	if err != nil || len(receipt) != votecode.ReceiptSize {
+		// Cannot happen when all shares carried valid EA signatures.
+		n.metrics.BadShares.Add(1)
+		return
+	}
+	st.status = Voted
+	st.receipt = receipt
+	for _, ch := range st.waiters {
+		ch <- voteOutcome{receipt: receipt}
+	}
+	st.waiters = nil
+}
+
+// BallotStatus reports a ballot's current state (tests and recovery).
+func (n *Node) BallotStatus(serial uint64) (Status, []byte) {
+	st := n.state(serial)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.status, st.usedCode
+}

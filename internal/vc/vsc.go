@@ -1,0 +1,417 @@
+package vc
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ddemos/internal/consensus"
+	"ddemos/internal/ea"
+	"ddemos/internal/sig"
+	"ddemos/internal/transport"
+	"ddemos/internal/wire"
+)
+
+// VotedBallot is one ⟨serial-no, vote-code⟩ tuple of the agreed vote set.
+type VotedBallot struct {
+	Serial uint64
+	Code   []byte
+}
+
+// maxVscBuffer bounds pre-start buffering of consensus traffic.
+const maxVscBuffer = 1 << 16
+
+// recoverRetryInterval paces RECOVER-REQUEST retransmissions.
+const recoverRetryInterval = 250 * time.Millisecond
+
+// VoteSetConsensus runs the §III-E election-end protocol: disperse certified
+// vote codes (ANNOUNCE), run one binary consensus instance per ballot
+// (batched), recover missing codes for ballots that decided "voted", and
+// return the agreed vote set. All VC nodes return identical sets.
+//
+// k-out-of-m note (paper §VI future work): generalizing to k selections per
+// ballot requires moving the instance space from one-per-ballot to
+// one-per-(ballot, part, row) — instance = (serial-1)*2m + part*m + row —
+// with input 1 iff that row's code is certified. Per-part endorsement
+// stickiness already guarantees no two parts can both certify (the UCERT
+// counting argument applies per part pair), so per-row decisions compose
+// into consistent multi-code sets. The announce/recover layer then keys
+// entries by (serial, code) — which wire.AnnounceEntry already supports.
+func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
+	count := uint32(n.manifest.NumBallots) //nolint:gosec // validated at setup
+	e := &vscEngine{
+		n:             n,
+		announceFrom:  make(map[uint16]bool, n.nv),
+		announceReady: make(chan struct{}),
+		missing:       make(map[uint64]bool),
+		missingDone:   make(chan struct{}, 1),
+	}
+	batch, err := consensus.NewBatch(n.nv, n.fv, n.self, count, n.coin, func(m *wire.Consensus) {
+		if err := transport.Multicast(n.ep, n.peers, wire.Encode(m)); err != nil {
+			n.metrics.SendErrors.Add(1)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.batch = batch
+
+	// Install the engine and replay traffic that arrived early.
+	n.vscMu.Lock()
+	if n.vsc != nil {
+		n.vscMu.Unlock()
+		return nil, errors.New("vc: vote set consensus already running")
+	}
+	n.vsc = e
+	buffered := n.vscBuffer
+	n.vscBuffer = nil
+	n.vscMu.Unlock()
+
+	// Step 1-2: announce every certified code (batched over all ballots).
+	own := n.certifiedEntries()
+	if n.byz == ConsensusLiar {
+		own = nil // withhold everything
+	}
+	e.onAnnounce(n.self, &wire.Announce{Sender: n.self, Entries: own})
+	frame := wire.Encode(&wire.Announce{Sender: n.self, Entries: own})
+	if err := transport.Multicast(n.ep, n.peers, frame); err != nil {
+		n.metrics.SendErrors.Add(1)
+	}
+	for _, bm := range buffered {
+		e.handle(bm.from, bm.msg)
+	}
+
+	// Wait for Nv-fv ANNOUNCE batches (per-ballot waiting in the paper; one
+	// batch per node covers all ballots).
+	select {
+	case <-e.announceReady:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("vc: waiting for announces: %w", ctx.Err())
+	case <-n.done:
+		return nil, ErrStopped
+	}
+
+	// Step 3: binary consensus per ballot. Input 1 iff a certified code is
+	// locally known.
+	inputs := make([]byte, count)
+	n.forEachCertified(func(serial uint64, _ []byte) {
+		inputs[serial-1] = 1
+	})
+	if n.byz == ConsensusLiar {
+		for i := range inputs {
+			inputs[i] = 1 - inputs[i]
+		}
+	}
+	if err := e.batch.Start(inputs); err != nil {
+		return nil, err
+	}
+	e.markStarted()
+	decisions, err := e.batch.Results(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 4-5: translate decisions; recover codes we lack.
+	if err := e.recover(ctx, decisions); err != nil {
+		return nil, err
+	}
+	set := make([]VotedBallot, 0, len(decisions))
+	n.forEachCertified(func(serial uint64, code []byte) {
+		if decisions[serial-1] == 1 {
+			set = append(set, VotedBallot{Serial: serial, Code: code})
+		}
+	})
+	sort.Slice(set, func(i, j int) bool { return set[i].Serial < set[j].Serial })
+	// Sanity: every decided-1 ballot must now have a code.
+	decidedOnes := 0
+	for _, d := range decisions {
+		if d == 1 {
+			decidedOnes++
+		}
+	}
+	if decidedOnes != len(set) {
+		return nil, fmt.Errorf("vc: %d ballots decided voted but only %d codes known", decidedOnes, len(set))
+	}
+	return set, nil
+}
+
+// certifiedEntries snapshots all locally certified (serial, code, UCERT).
+func (n *Node) certifiedEntries() []wire.AnnounceEntry {
+	var out []wire.AnnounceEntry
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		states := make(map[uint64]*ballotState, len(sh.ballots))
+		for serial, st := range sh.ballots {
+			states[serial] = st
+		}
+		sh.mu.Unlock()
+		for serial, st := range states {
+			st.mu.Lock()
+			if st.cert != nil {
+				out = append(out, wire.AnnounceEntry{Serial: serial, Code: st.usedCode, Cert: *st.cert})
+			}
+			st.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// forEachCertified calls fn for every ballot with a certified code.
+func (n *Node) forEachCertified(fn func(serial uint64, code []byte)) {
+	for _, e := range n.certifiedEntries() {
+		fn(e.Serial, e.Code)
+	}
+}
+
+// adoptEntry installs a certified code learned from a peer (ANNOUNCE or
+// RECOVER-RESPONSE). Returns false for invalid entries.
+func (n *Node) adoptEntry(entry *wire.AnnounceEntry) bool {
+	if entry.Serial == 0 || entry.Serial > uint64(n.manifest.NumBallots) {
+		return false
+	}
+	st := n.state(entry.Serial)
+	st.mu.Lock()
+	already := st.cert != nil
+	st.mu.Unlock()
+	if already {
+		return true // UCERT uniqueness: it must be the same code
+	}
+	cert := entry.Cert
+	if cert.Serial != entry.Serial || string(cert.Code) != string(entry.Code) || !n.VerifyUCert(&cert) {
+		return false
+	}
+	st.mu.Lock()
+	if st.cert == nil {
+		st.cert = &cert
+		st.usedCode = append([]byte(nil), entry.Code...)
+		if st.status == NotVoted {
+			st.status = Pending
+		}
+	}
+	st.mu.Unlock()
+	return true
+}
+
+// vscEngine holds the in-flight vote-set-consensus state.
+type vscEngine struct {
+	n     *Node
+	batch *consensus.Batch
+
+	mu            sync.Mutex
+	announceFrom  map[uint16]bool
+	announceReady chan struct{}
+	readyClosed   bool
+	started       bool
+	preStart      []*wire.Consensus
+	preStartFrom  []uint16
+
+	missingMu   sync.Mutex
+	missing     map[uint64]bool
+	missingDone chan struct{}
+}
+
+func (n *Node) routeConsensus(from uint16, msg wire.Message) {
+	n.vscMu.Lock()
+	e := n.vsc
+	if e == nil {
+		if len(n.vscBuffer) < maxVscBuffer {
+			n.vscBuffer = append(n.vscBuffer, bufferedMsg{from: from, msg: msg})
+		}
+		n.vscMu.Unlock()
+		return
+	}
+	n.vscMu.Unlock()
+	e.handle(from, msg)
+}
+
+func (e *vscEngine) handle(from uint16, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Announce:
+		e.onAnnounce(from, m)
+	case *wire.Consensus:
+		e.onConsensus(from, m)
+	case *wire.RecoverRequest:
+		e.onRecoverRequest(from, m)
+	case *wire.RecoverResponse:
+		e.onRecoverResponse(m)
+	}
+}
+
+func (e *vscEngine) onAnnounce(from uint16, m *wire.Announce) {
+	for i := range m.Entries {
+		if !e.n.adoptEntry(&m.Entries[i]) {
+			e.n.metrics.BadMessages.Add(1)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.announceFrom[from] {
+		return
+	}
+	e.announceFrom[from] = true
+	if len(e.announceFrom) >= e.n.hv && !e.readyClosed {
+		e.readyClosed = true
+		close(e.announceReady)
+	}
+}
+
+// onConsensus forwards to the batch, buffering until Start (the batch drops
+// pre-start traffic).
+func (e *vscEngine) onConsensus(from uint16, m *wire.Consensus) {
+	e.mu.Lock()
+	if !e.started {
+		e.preStart = append(e.preStart, m)
+		e.preStartFrom = append(e.preStartFrom, from)
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	e.batch.Handle(from, m)
+}
+
+// markStarted flushes buffered consensus messages into the started batch.
+func (e *vscEngine) markStarted() {
+	e.mu.Lock()
+	msgs := e.preStart
+	froms := e.preStartFrom
+	e.preStart, e.preStartFrom = nil, nil
+	e.started = true
+	e.mu.Unlock()
+	for i, m := range msgs {
+		e.batch.Handle(froms[i], m)
+	}
+}
+
+func (e *vscEngine) onRecoverRequest(from uint16, m *wire.RecoverRequest) {
+	if len(m.Serials) == 0 {
+		return
+	}
+	resp := &wire.RecoverResponse{}
+	for _, serial := range m.Serials {
+		if serial == 0 || serial > uint64(e.n.manifest.NumBallots) {
+			continue
+		}
+		st := e.n.state(serial)
+		st.mu.Lock()
+		if st.cert != nil {
+			resp.Entries = append(resp.Entries, wire.AnnounceEntry{
+				Serial: serial, Code: st.usedCode, Cert: *st.cert,
+			})
+		}
+		st.mu.Unlock()
+	}
+	if len(resp.Entries) == 0 {
+		return
+	}
+	if err := e.n.ep.Send(transport.NodeID(from), wire.Encode(resp)); err != nil {
+		e.n.metrics.SendErrors.Add(1)
+	}
+}
+
+func (e *vscEngine) onRecoverResponse(m *wire.RecoverResponse) {
+	for i := range m.Entries {
+		entry := &m.Entries[i]
+		if !e.n.adoptEntry(entry) {
+			e.n.metrics.BadMessages.Add(1)
+			continue
+		}
+		e.missingMu.Lock()
+		if e.missing[entry.Serial] {
+			delete(e.missing, entry.Serial)
+			if len(e.missing) == 0 {
+				select {
+				case e.missingDone <- struct{}{}:
+				default:
+				}
+			}
+		}
+		e.missingMu.Unlock()
+	}
+}
+
+// recover implements step 5b: fetch certified codes for ballots that
+// decided "voted" but whose code is locally unknown. Honest nodes that
+// entered consensus with 1 possess the code (see §III-E), so responses are
+// guaranteed; requests are retransmitted until satisfied.
+func (e *vscEngine) recover(ctx context.Context, decisions []byte) error {
+	have := make(map[uint64]bool)
+	e.n.forEachCertified(func(serial uint64, _ []byte) { have[serial] = true })
+
+	e.missingMu.Lock()
+	for i, d := range decisions {
+		serial := uint64(i) + 1
+		if d == 1 && !have[serial] {
+			e.missing[serial] = true
+		}
+	}
+	n := len(e.missing)
+	e.missingMu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	for {
+		e.missingMu.Lock()
+		serials := make([]uint64, 0, len(e.missing))
+		for s := range e.missing {
+			serials = append(serials, s)
+		}
+		e.missingMu.Unlock()
+		if len(serials) == 0 {
+			return nil
+		}
+		e.n.metrics.Recoveries.Add(int64(len(serials)))
+		frame := wire.Encode(&wire.RecoverRequest{Serials: serials})
+		if err := transport.Multicast(e.n.ep, e.n.peers, frame); err != nil {
+			e.n.metrics.SendErrors.Add(1)
+		}
+		select {
+		case <-e.missingDone:
+			e.missingMu.Lock()
+			empty := len(e.missing) == 0
+			e.missingMu.Unlock()
+			if empty {
+				return nil
+			}
+		case <-time.After(recoverRetryInterval):
+		case <-ctx.Done():
+			return fmt.Errorf("vc: recovering vote codes: %w", ctx.Err())
+		case <-e.n.done:
+			return ErrStopped
+		}
+	}
+}
+
+// CanonicalVoteSetHash hashes a vote set for signing and BB comparison.
+func CanonicalVoteSetHash(electionID string, set []VotedBallot) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("ddemos/v1/vote-set"))
+	h.Write([]byte(electionID))
+	for _, vb := range set {
+		h.Write(sig.Uint64Bytes(vb.Serial))
+		h.Write(sig.Uint64Bytes(uint64(len(vb.Code))))
+		h.Write(vb.Code)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SignVoteSet signs the node's final vote set for the BB push.
+func (n *Node) SignVoteSet(set []VotedBallot) []byte {
+	hash := CanonicalVoteSetHash(n.manifest.ElectionID, set)
+	return sig.Sign(n.priv, voteSetDomain, hash[:])
+}
+
+// VerifyVoteSetSig checks a vote-set signature from VC node `index`.
+func VerifyVoteSetSig(manifest *ea.Manifest, index int, set []VotedBallot, sigBytes []byte) bool {
+	if index < 0 || index >= len(manifest.VCPublics) {
+		return false
+	}
+	hash := CanonicalVoteSetHash(manifest.ElectionID, set)
+	return sig.Verify(manifest.VCPublics[index], sigBytes, voteSetDomain, hash[:])
+}

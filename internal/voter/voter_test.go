@@ -1,0 +1,220 @@
+package voter
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ddemos/internal/ballot"
+)
+
+// fakeService scripts a VC node's behaviour.
+type fakeService struct {
+	receipt []byte
+	err     error
+	delay   time.Duration
+	calls   int
+}
+
+func (f *fakeService) SubmitVote(ctx context.Context, _ uint64, _ []byte) ([]byte, error) {
+	f.calls++
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.receipt, nil
+}
+
+func testBallot() *ballot.Ballot {
+	mk := func(b byte) []byte { return bytes.Repeat([]byte{b}, 20) }
+	rc := func(b byte) []byte { return bytes.Repeat([]byte{b}, 8) }
+	return &ballot.Ballot{
+		Serial: 1,
+		Parts: [2]ballot.Part{
+			{Lines: []ballot.Line{
+				{VoteCode: mk(1), Option: "yes", Receipt: rc(0xA1)},
+				{VoteCode: mk(2), Option: "no", Receipt: rc(0xA2)},
+			}},
+			{Lines: []ballot.Line{
+				{VoteCode: mk(3), Option: "yes", Receipt: rc(0xB1)},
+				{VoteCode: mk(4), Option: "no", Receipt: rc(0xB2)},
+			}},
+		},
+	}
+}
+
+func TestCastHappyPath(t *testing.T) {
+	b := testBallot()
+	svc := &fakeService{receipt: b.Parts[0].Lines[0].Receipt}
+	c := &Client{Ballot: b, Services: []Service{svc}}
+	res, err := c.CastWithPart(context.Background(), 0, ballot.PartA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || !bytes.Equal(res.Receipt, svc.receipt) {
+		t.Fatalf("res = %+v", res)
+	}
+	if !bytes.Equal(res.Code, b.Parts[0].Lines[0].VoteCode) {
+		t.Fatal("wrong code cast")
+	}
+}
+
+func TestCastBlacklistsFailingNodes(t *testing.T) {
+	b := testBallot()
+	good := &fakeService{receipt: b.Parts[1].Lines[1].Receipt}
+	bad1 := &fakeService{err: errors.New("down")}
+	bad2 := &fakeService{err: errors.New("down")}
+	c := &Client{Ballot: b, Services: []Service{bad1, bad2, good}, Patience: 100 * time.Millisecond}
+	res, err := c.CastWithPart(context.Background(), 1, ballot.PartB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 1 || res.Attempts > 3 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	if bad1.calls+bad2.calls+good.calls != res.Attempts {
+		t.Fatal("attempt accounting wrong")
+	}
+}
+
+func TestCastPatienceTimeout(t *testing.T) {
+	// A node that never answers within the patience window gets
+	// blacklisted; the voter moves on ([d]-patience, Definition 1).
+	b := testBallot()
+	slow := &fakeService{receipt: b.Parts[0].Lines[0].Receipt, delay: time.Second}
+	fast := &fakeService{receipt: b.Parts[0].Lines[0].Receipt}
+	c := &Client{Ballot: b, Services: []Service{slow, fast}, Patience: 50 * time.Millisecond}
+	start := time.Now()
+	res, err := c.CastWithPart(context.Background(), 0, ballot.PartA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("voter waited far beyond patience")
+	}
+	if res == nil || res.Receipt == nil {
+		t.Fatal("no receipt")
+	}
+}
+
+func TestCastRejectsWrongReceipt(t *testing.T) {
+	// A malicious node returning a bogus receipt must be treated as faulty.
+	b := testBallot()
+	liar := &fakeService{receipt: bytes.Repeat([]byte{0xFF}, 8)}
+	honest := &fakeService{receipt: b.Parts[0].Lines[0].Receipt}
+	c := &Client{Ballot: b, Services: []Service{liar, honest}, Patience: 100 * time.Millisecond}
+	res, err := c.CastWithPart(context.Background(), 0, ballot.PartA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Receipt, b.Parts[0].Lines[0].Receipt) {
+		t.Fatal("accepted forged receipt")
+	}
+}
+
+func TestCastAllNodesFail(t *testing.T) {
+	b := testBallot()
+	c := &Client{
+		Ballot:   b,
+		Services: []Service{&fakeService{err: errors.New("down")}, &fakeService{err: errors.New("down")}},
+		Patience: 50 * time.Millisecond,
+	}
+	if _, err := c.CastWithPart(context.Background(), 0, ballot.PartA); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+}
+
+func TestCastValidation(t *testing.T) {
+	b := testBallot()
+	c := &Client{Ballot: b}
+	if _, err := c.CastWithPart(context.Background(), 0, ballot.PartA); err == nil {
+		t.Fatal("no services must fail")
+	}
+	c.Services = []Service{&fakeService{}}
+	if _, err := c.CastWithPart(context.Background(), 9, ballot.PartA); err == nil {
+		t.Fatal("bad option must fail")
+	}
+	if _, err := c.CastWithPart(context.Background(), 0, ballot.PartID(7)); err == nil {
+		t.Fatal("bad part must fail")
+	}
+}
+
+func TestCastContextCancelled(t *testing.T) {
+	b := testBallot()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{Ballot: b, Services: []Service{&fakeService{delay: time.Second}}, Patience: 2 * time.Second}
+	if _, err := c.Cast(ctx, 0); err == nil {
+		t.Fatal("cancelled context must fail")
+	}
+}
+
+func TestAuditPackageDelegation(t *testing.T) {
+	b := testBallot()
+	c := &Client{Ballot: b}
+	res := &CastResult{Serial: 1, Part: ballot.PartA, OptionIndex: 0, Code: b.Parts[0].Lines[0].VoteCode}
+	pkg, err := c.AuditPackage(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.UnusedPartID != ballot.PartB || !bytes.Equal(pkg.CastCode, res.Code) {
+		t.Fatalf("pkg = %+v", pkg)
+	}
+	// The package must not contain the used part (privacy).
+	for _, l := range pkg.UnusedPart.Lines {
+		if bytes.Equal(l.VoteCode, res.Code) {
+			t.Fatal("audit package leaks the used part")
+		}
+	}
+	// Abstainer: package without cast code.
+	abstain, err := c.AuditPackage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abstain.CastCode != nil {
+		t.Fatal("abstain package has a cast code")
+	}
+}
+
+// lookupService answers with the correct receipt for whatever code arrives,
+// like an honest VC cluster would.
+type lookupService struct {
+	ballot *ballot.Ballot
+}
+
+func (s *lookupService) SubmitVote(_ context.Context, _ uint64, code []byte) ([]byte, error) {
+	for p := 0; p < 2; p++ {
+		for _, l := range s.ballot.Parts[p].Lines {
+			if bytes.Equal(l.VoteCode, code) {
+				return l.Receipt, nil
+			}
+		}
+	}
+	return nil, errors.New("unknown code")
+}
+
+func TestCastRandomPartDistribution(t *testing.T) {
+	// Cast() must actually randomize the part choice (it is the voter's
+	// contribution to the ZK challenge entropy).
+	b := testBallot()
+	c := &Client{Ballot: b, Services: []Service{&lookupService{ballot: b}}}
+	seen := map[ballot.PartID]bool{}
+	for i := 0; i < 128 && len(seen) < 2; i++ {
+		res, err := c.Cast(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.Part] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("part choice does not appear random (one-sided after 128 casts)")
+	}
+}

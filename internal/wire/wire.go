@@ -1,0 +1,512 @@
+// Package wire defines the binary message format exchanged between Vote
+// Collector nodes: the voting protocol messages of §III-E (ENDORSE,
+// ENDORSEMENT, VOTE_P), the vote-set-consensus messages (ANNOUNCE,
+// RECOVER-REQUEST, RECOVER-RESPONSE) and the batched binary-consensus
+// payloads. Encoding is hand-rolled: these messages are the hot path of the
+// system, mirroring the paper's use of protocol buffers over Netty.
+//
+// Every frame is Kind (1 byte) || body. Deserialization is strict: trailing
+// bytes, truncation and oversized counts are errors.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies the message type of a frame.
+type Kind uint8
+
+// Message kinds. Start at 1 so the zero value is invalid.
+const (
+	KindEndorse Kind = iota + 1
+	KindEndorsement
+	KindVoteP
+	KindAnnounce
+	KindRecoverRequest
+	KindRecoverResponse
+	KindConsensus
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindEndorse:
+		return "ENDORSE"
+	case KindEndorsement:
+		return "ENDORSEMENT"
+	case KindVoteP:
+		return "VOTE_P"
+	case KindAnnounce:
+		return "ANNOUNCE"
+	case KindRecoverRequest:
+		return "RECOVER-REQUEST"
+	case KindRecoverResponse:
+		return "RECOVER-RESPONSE"
+	case KindConsensus:
+		return "CONSENSUS"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Limits protecting decoders from hostile inputs.
+const (
+	maxBytesLen = 1 << 20 // single byte-string field
+	maxCount    = 1 << 22 // collection sizes
+)
+
+// ErrMalformed is wrapped by all decoding errors.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Kind() Kind
+	appendBody(dst []byte) []byte
+}
+
+// Encode serializes a message to a framed byte slice.
+func Encode(m Message) []byte {
+	return m.appendBody([]byte{byte(m.Kind())})
+}
+
+// Decode parses a framed message.
+func Decode(frame []byte) (Message, error) {
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("%w: empty frame", ErrMalformed)
+	}
+	r := &reader{buf: frame[1:]}
+	var m Message
+	switch Kind(frame[0]) {
+	case KindEndorse:
+		m = decodeEndorse(r)
+	case KindEndorsement:
+		m = decodeEndorsement(r)
+	case KindVoteP:
+		m = decodeVoteP(r)
+	case KindAnnounce:
+		m = decodeAnnounce(r)
+	case KindRecoverRequest:
+		m = decodeRecoverRequest(r)
+	case KindRecoverResponse:
+		m = decodeRecoverResponse(r)
+	case KindConsensus:
+		m = decodeConsensus(r)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, frame[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf))
+	}
+	return m, nil
+}
+
+// --- primitives -----------------------------------------------------------
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s", ErrMalformed, what)
+	}
+}
+
+func (r *reader) u8(what string) uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) u16(what string) uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 2 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) bytes(what string) []byte {
+	n := r.u32(what)
+	if r.err != nil {
+		return nil
+	}
+	if n > maxBytesLen || int(n) > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[:n])
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) count(what string) int {
+	n := r.u32(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > maxCount {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+func appendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b))) //nolint:gosec // bounded by callers
+	return append(dst, b...)
+}
+
+// --- voting protocol messages ---------------------------------------------
+
+// Endorse asks every VC node to endorse (serial, vote-code) as the unique
+// code for the ballot.
+type Endorse struct {
+	Serial uint64
+	Code   []byte
+}
+
+// Kind implements Message.
+func (*Endorse) Kind() Kind { return KindEndorse }
+
+func (m *Endorse) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Serial)
+	return appendBytes(dst, m.Code)
+}
+
+func decodeEndorse(r *reader) *Endorse {
+	return &Endorse{Serial: r.u64("serial"), Code: r.bytes("code")}
+}
+
+// Endorsement is a VC node's signature endorsing (serial, vote-code).
+type Endorsement struct {
+	Serial uint64
+	Code   []byte
+	Signer uint16 // VC node index
+	Sig    []byte
+}
+
+// Kind implements Message.
+func (*Endorsement) Kind() Kind { return KindEndorsement }
+
+func (m *Endorsement) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Serial)
+	dst = appendBytes(dst, m.Code)
+	dst = appendU16(dst, m.Signer)
+	return appendBytes(dst, m.Sig)
+}
+
+func decodeEndorsement(r *reader) *Endorsement {
+	return &Endorsement{
+		Serial: r.u64("serial"),
+		Code:   r.bytes("code"),
+		Signer: r.u16("signer"),
+		Sig:    r.bytes("sig"),
+	}
+}
+
+// SigEntry is one endorsement signature inside a uniqueness certificate.
+type SigEntry struct {
+	Signer uint16
+	Sig    []byte
+}
+
+// UCert is the uniqueness certificate: Nv-fv endorsement signatures for the
+// same (serial, vote-code). Its existence guarantees no other vote code can
+// be certified for the ballot.
+type UCert struct {
+	Serial uint64
+	Code   []byte
+	Sigs   []SigEntry
+}
+
+func appendUCert(dst []byte, u *UCert) []byte {
+	dst = appendU64(dst, u.Serial)
+	dst = appendBytes(dst, u.Code)
+	dst = appendU32(dst, uint32(len(u.Sigs))) //nolint:gosec // protocol-bounded
+	for _, s := range u.Sigs {
+		dst = appendU16(dst, s.Signer)
+		dst = appendBytes(dst, s.Sig)
+	}
+	return dst
+}
+
+func decodeUCert(r *reader) UCert {
+	u := UCert{Serial: r.u64("ucert serial"), Code: r.bytes("ucert code")}
+	n := r.count("ucert sigs")
+	if r.err != nil {
+		return u
+	}
+	u.Sigs = make([]SigEntry, 0, n)
+	for i := 0; i < n; i++ {
+		u.Sigs = append(u.Sigs, SigEntry{Signer: r.u16("sig signer"), Sig: r.bytes("sig bytes")})
+	}
+	return u
+}
+
+// VoteP discloses a node's receipt share for a certified (serial, code),
+// carrying the UCERT so receivers can join without having seen the ENDORSE
+// round.
+type VoteP struct {
+	Serial     uint64
+	Code       []byte
+	ShareIndex uint32
+	ShareValue []byte // 32-byte scalar
+	ShareSig   []byte // EA signature binding (serial, line, index, value)
+	Cert       UCert
+}
+
+// Kind implements Message.
+func (*VoteP) Kind() Kind { return KindVoteP }
+
+func (m *VoteP) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Serial)
+	dst = appendBytes(dst, m.Code)
+	dst = appendU32(dst, m.ShareIndex)
+	dst = appendBytes(dst, m.ShareValue)
+	dst = appendBytes(dst, m.ShareSig)
+	return appendUCert(dst, &m.Cert)
+}
+
+func decodeVoteP(r *reader) *VoteP {
+	return &VoteP{
+		Serial:     r.u64("serial"),
+		Code:       r.bytes("code"),
+		ShareIndex: r.u32("share index"),
+		ShareValue: r.bytes("share value"),
+		ShareSig:   r.bytes("share sig"),
+		Cert:       decodeUCert(r),
+	}
+}
+
+// --- vote set consensus messages ------------------------------------------
+
+// AnnounceEntry reports one ballot's certified vote code.
+type AnnounceEntry struct {
+	Serial uint64
+	Code   []byte
+	Cert   UCert
+}
+
+// Announce carries a node's complete set of known certified codes at
+// election end (entries for voted ballots only; all other ballots are
+// implicitly announced as null, batching the paper's per-ballot ANNOUNCE).
+type Announce struct {
+	Sender  uint16
+	Entries []AnnounceEntry
+}
+
+// Kind implements Message.
+func (*Announce) Kind() Kind { return KindAnnounce }
+
+func (m *Announce) appendBody(dst []byte) []byte {
+	dst = appendU16(dst, m.Sender)
+	dst = appendU32(dst, uint32(len(m.Entries))) //nolint:gosec // protocol-bounded
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		dst = appendU64(dst, e.Serial)
+		dst = appendBytes(dst, e.Code)
+		dst = appendUCert(dst, &e.Cert)
+	}
+	return dst
+}
+
+func decodeAnnounce(r *reader) *Announce {
+	m := &Announce{Sender: r.u16("sender")}
+	n := r.count("entries")
+	if r.err != nil {
+		return m
+	}
+	m.Entries = make([]AnnounceEntry, 0, n)
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, AnnounceEntry{
+			Serial: r.u64("entry serial"),
+			Code:   r.bytes("entry code"),
+			Cert:   decodeUCert(r),
+		})
+	}
+	return m
+}
+
+// RecoverRequest asks peers for the certified codes of ballots that decided
+// "voted" in consensus but whose code is locally unknown (§III-E step 5b).
+type RecoverRequest struct {
+	Serials []uint64
+}
+
+// Kind implements Message.
+func (*RecoverRequest) Kind() Kind { return KindRecoverRequest }
+
+func (m *RecoverRequest) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(m.Serials))) //nolint:gosec // protocol-bounded
+	for _, s := range m.Serials {
+		dst = appendU64(dst, s)
+	}
+	return dst
+}
+
+func decodeRecoverRequest(r *reader) *RecoverRequest {
+	n := r.count("serials")
+	if r.err != nil {
+		return &RecoverRequest{}
+	}
+	m := &RecoverRequest{Serials: make([]uint64, 0, n)}
+	for i := 0; i < n; i++ {
+		m.Serials = append(m.Serials, r.u64("serial"))
+	}
+	return m
+}
+
+// RecoverResponse answers a RecoverRequest with certified codes.
+type RecoverResponse struct {
+	Entries []AnnounceEntry
+}
+
+// Kind implements Message.
+func (*RecoverResponse) Kind() Kind { return KindRecoverResponse }
+
+func (m *RecoverResponse) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(m.Entries))) //nolint:gosec // protocol-bounded
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		dst = appendU64(dst, e.Serial)
+		dst = appendBytes(dst, e.Code)
+		dst = appendUCert(dst, &e.Cert)
+	}
+	return dst
+}
+
+func decodeRecoverResponse(r *reader) *RecoverResponse {
+	n := r.count("entries")
+	if r.err != nil {
+		return &RecoverResponse{}
+	}
+	m := &RecoverResponse{Entries: make([]AnnounceEntry, 0, n)}
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, AnnounceEntry{
+			Serial: r.u64("entry serial"),
+			Code:   r.bytes("entry code"),
+			Cert:   decodeUCert(r),
+		})
+	}
+	return m
+}
+
+// --- batched binary consensus ---------------------------------------------
+
+// Consensus step identifiers.
+const (
+	StepBVal   uint8 = 1
+	StepAux    uint8 = 2
+	StepDecide uint8 = 3
+)
+
+// ConsensusGroup aggregates one (step, round, value) tuple over many
+// consensus instances, identified by their uint32 indices.
+type ConsensusGroup struct {
+	Step      uint8
+	Round     uint16
+	Value     uint8
+	Instances []uint32
+}
+
+// Consensus is the batched binary-consensus message: all the per-instance
+// protocol messages a node emits in one flush, grouped for network
+// efficiency (the paper's "binary consensus in batches of arbitrary size").
+type Consensus struct {
+	Sender uint16
+	Groups []ConsensusGroup
+}
+
+// Kind implements Message.
+func (*Consensus) Kind() Kind { return KindConsensus }
+
+func (m *Consensus) appendBody(dst []byte) []byte {
+	dst = appendU16(dst, m.Sender)
+	dst = appendU32(dst, uint32(len(m.Groups))) //nolint:gosec // protocol-bounded
+	for i := range m.Groups {
+		g := &m.Groups[i]
+		dst = append(dst, g.Step, byte(g.Value))
+		dst = appendU16(dst, g.Round)
+		dst = appendU32(dst, uint32(len(g.Instances))) //nolint:gosec // protocol-bounded
+		for _, inst := range g.Instances {
+			dst = appendU32(dst, inst)
+		}
+	}
+	return dst
+}
+
+func decodeConsensus(r *reader) *Consensus {
+	m := &Consensus{Sender: r.u16("sender")}
+	n := r.count("groups")
+	if r.err != nil {
+		return m
+	}
+	m.Groups = make([]ConsensusGroup, 0, n)
+	for i := 0; i < n; i++ {
+		g := ConsensusGroup{
+			Step:  r.u8("step"),
+			Value: r.u8("value"),
+			Round: r.u16("round"),
+		}
+		cnt := r.count("instances")
+		if r.err != nil {
+			return m
+		}
+		g.Instances = make([]uint32, 0, cnt)
+		for j := 0; j < cnt; j++ {
+			g.Instances = append(g.Instances, r.u32("instance"))
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	return m
+}

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	frame := Encode(m)
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("decode %s: %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind changed: %v -> %v", m.Kind(), got.Kind())
+	}
+	return got
+}
+
+func sampleUCert() UCert {
+	return UCert{
+		Serial: 42,
+		Code:   bytes.Repeat([]byte{0xaa}, 20),
+		Sigs: []SigEntry{
+			{Signer: 0, Sig: bytes.Repeat([]byte{1}, 64)},
+			{Signer: 2, Sig: bytes.Repeat([]byte{2}, 64)},
+			{Signer: 3, Sig: bytes.Repeat([]byte{3}, 64)},
+		},
+	}
+}
+
+func TestEndorseRoundTrip(t *testing.T) {
+	m := &Endorse{Serial: 7, Code: []byte{1, 2, 3}}
+	got := roundTrip(t, m).(*Endorse)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestEndorsementRoundTrip(t *testing.T) {
+	m := &Endorsement{Serial: 9, Code: []byte{5}, Signer: 3, Sig: bytes.Repeat([]byte{7}, 64)}
+	got := roundTrip(t, m).(*Endorsement)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestVotePRoundTrip(t *testing.T) {
+	m := &VoteP{
+		Serial:     42,
+		Code:       bytes.Repeat([]byte{0xaa}, 20),
+		ShareIndex: 2,
+		ShareValue: bytes.Repeat([]byte{0xbb}, 32),
+		ShareSig:   bytes.Repeat([]byte{0xcc}, 64),
+		Cert:       sampleUCert(),
+	}
+	got := roundTrip(t, m).(*VoteP)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	m := &Announce{
+		Sender: 1,
+		Entries: []AnnounceEntry{
+			{Serial: 1, Code: []byte{1}, Cert: sampleUCert()},
+			{Serial: 2, Code: []byte{2}, Cert: sampleUCert()},
+		},
+	}
+	got := roundTrip(t, m).(*Announce)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestAnnounceEmptyRoundTrip(t *testing.T) {
+	m := &Announce{Sender: 3}
+	got := roundTrip(t, m).(*Announce)
+	if got.Sender != 3 || len(got.Entries) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRecoverRequestRoundTrip(t *testing.T) {
+	m := &RecoverRequest{Serials: []uint64{1, 99, 1 << 40}}
+	got := roundTrip(t, m).(*RecoverRequest)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestRecoverResponseRoundTrip(t *testing.T) {
+	m := &RecoverResponse{Entries: []AnnounceEntry{{Serial: 5, Code: []byte{9}, Cert: sampleUCert()}}}
+	got := roundTrip(t, m).(*RecoverResponse)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestConsensusRoundTrip(t *testing.T) {
+	m := &Consensus{
+		Sender: 2,
+		Groups: []ConsensusGroup{
+			{Step: StepBVal, Round: 1, Value: 0, Instances: []uint32{0, 5, 100000}},
+			{Step: StepAux, Round: 3, Value: 1, Instances: []uint32{7}},
+			{Step: StepDecide, Round: 2, Value: 1, Instances: []uint32{}},
+		},
+	}
+	got := roundTrip(t, m).(*Consensus)
+	if got.Sender != m.Sender || len(got.Groups) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range m.Groups {
+		if got.Groups[i].Step != m.Groups[i].Step ||
+			got.Groups[i].Round != m.Groups[i].Round ||
+			got.Groups[i].Value != m.Groups[i].Value ||
+			len(got.Groups[i].Instances) != len(m.Groups[i].Instances) {
+			t.Fatalf("group %d mismatch: %+v vs %+v", i, got.Groups[i], m.Groups[i])
+		}
+	}
+}
+
+func TestDecodeRejectsEmpty(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty frame must fail")
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte{0xff, 1, 2}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := Decode([]byte{0}); err == nil {
+		t.Fatal("kind 0 must fail")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := &VoteP{
+		Serial:     42,
+		Code:       bytes.Repeat([]byte{0xaa}, 20),
+		ShareIndex: 2,
+		ShareValue: bytes.Repeat([]byte{0xbb}, 32),
+		ShareSig:   bytes.Repeat([]byte{0xcc}, 64),
+		Cert:       sampleUCert(),
+	}
+	frame := Encode(m)
+	for _, cut := range []int{1, 5, len(frame) / 2, len(frame) - 1} {
+		if _, err := Decode(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d must fail", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	frame := Encode(&Endorse{Serial: 1, Code: []byte{1}})
+	if _, err := Decode(append(frame, 0)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+}
+
+func TestDecodeRejectsHugeCounts(t *testing.T) {
+	// Claim 2^30 announce entries with no body.
+	frame := []byte{byte(KindAnnounce), 0, 1, 0x40, 0, 0, 0}
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("oversized count must fail")
+	}
+}
+
+func TestDecodeFuzzNoPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEndorseRoundTrip(t *testing.T) {
+	f := func(serial uint64, code []byte) bool {
+		if len(code) > 1024 {
+			code = code[:1024]
+		}
+		m := &Endorse{Serial: serial, Code: code}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		e := got.(*Endorse)
+		return e.Serial == serial && bytes.Equal(e.Code, code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindEndorse, KindEndorsement, KindVoteP, KindAnnounce,
+		KindRecoverRequest, KindRecoverResponse, KindConsensus, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty string", k)
+		}
+	}
+}
+
+func BenchmarkEncodeVoteP(b *testing.B) {
+	m := &VoteP{
+		Serial:     42,
+		Code:       bytes.Repeat([]byte{0xaa}, 20),
+		ShareIndex: 2,
+		ShareValue: bytes.Repeat([]byte{0xbb}, 32),
+		ShareSig:   bytes.Repeat([]byte{0xcc}, 64),
+		Cert:       sampleUCert(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodeVoteP(b *testing.B) {
+	frame := Encode(&VoteP{
+		Serial:     42,
+		Code:       bytes.Repeat([]byte{0xaa}, 20),
+		ShareIndex: 2,
+		ShareValue: bytes.Repeat([]byte{0xbb}, 32),
+		ShareSig:   bytes.Repeat([]byte{0xcc}, 64),
+		Cert:       sampleUCert(),
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
