@@ -29,6 +29,9 @@ func main() {
 	peersS := flag.String("peers", "", "comma-separated peer TCP addresses, in node-index order")
 	httpAddr := flag.String("http", ":8100", "public HTTP voting endpoint")
 	bbS := flag.String("bb", "", "comma-separated BB base URLs for the election-end push")
+	batchWindow := flag.Duration("batch-window", 0,
+		"coalesce outgoing inter-VC messages per peer for up to this window (0 disables batching)")
+	batchMax := flag.Int("batch-max", 0, "max messages per batch (0 = transport default)")
 	flag.Parse()
 	if *initPath == "" {
 		log.Fatal("-init is required")
@@ -48,7 +51,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	node, err := vc.New(vc.Config{Init: &init, Endpoint: tcp})
+	// Batching is symmetric: every node of a deployment must run the same
+	// -batch-window setting (the receive path splits batches regardless, but
+	// mixed settings forfeit the coalescing win).
+	var ep transport.Endpoint = tcp
+	if *batchWindow > 0 {
+		ep = transport.NewBatcher(tcp, transport.BatcherOptions{
+			Window:      *batchWindow,
+			MaxMessages: *batchMax,
+			// Timer flushes have no caller to return an error to; log the
+			// drops or an unreachable peer is invisible.
+			OnSendError: func(to transport.NodeID, err error) {
+				log.Printf("batch flush to vc-%d failed: %v", to, err)
+			},
+		})
+	}
+	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep})
 	if err != nil {
 		log.Fatal(err)
 	}

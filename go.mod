@@ -1,0 +1,3 @@
+module ddemos
+
+go 1.22

@@ -37,7 +37,27 @@ type Config struct {
 	Disk    bool
 	DiskDir string
 	Seed    string
+	// TransportOptions selects the inter-VC channel configuration (the
+	// batched-vs-unbatched ablation of Fig. 5b).
+	TransportOptions
 }
+
+// TransportOptions selects the inter-VC channel configuration of a figure
+// sweep; the zero value is the plain unbatched, unauthenticated network.
+type TransportOptions struct {
+	// Authenticated signs inter-VC channels (the paper's authenticated
+	// channels; one Ed25519 sign+verify per message — or per batch).
+	Authenticated bool
+	// BatchWindow enables the batched message pipeline when > 0.
+	BatchWindow time.Duration
+	// BatchMaxMessages caps messages per batch (0 = transport default).
+	BatchMaxMessages int
+}
+
+// DefaultBatchWindow is the flush window used by batched sweeps when the
+// caller does not pick one — the transport's own default, so benchmarks
+// measure the window deployments run.
+const DefaultBatchWindow = transport.DefaultBatchWindow
 
 // Result is the outcome of a vote-collection run.
 type Result struct {
@@ -80,7 +100,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	setupTime := time.Since(setupStart)
 
-	clusterOpts := core.Options{}
+	clusterOpts := core.Options{
+		Authenticated:    cfg.Authenticated,
+		BatchWindow:      cfg.BatchWindow,
+		BatchMaxMessages: cfg.BatchMaxMessages,
+	}
 	if cfg.WAN {
 		lp := transport.WANProfile
 		clusterOpts.LinkProfile = &lp

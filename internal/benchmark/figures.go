@@ -25,19 +25,21 @@ var (
 
 // Fig4 runs the latency/throughput-vs-Nv sweeps (4a/4b LAN, 4d/4e WAN) and
 // prints one row per (Nv, clients) point.
-func Fig4(w io.Writer, wan bool, vcs, clients []int, ballots, votesPer, options int) error {
+func Fig4(w io.Writer, wan bool, vcs, clients []int, ballots, votesPer, options int, tr TransportOptions) error {
 	net := "LAN"
 	if wan {
 		net = "WAN"
 	}
-	fmt.Fprintf(w, "# Fig4 %s: vote collection vs #VC (n=%d ballots, m=%d)\n", net, ballots, options)
+	fmt.Fprintf(w, "# Fig4 %s: vote collection vs #VC (n=%d ballots, m=%d%s)\n",
+		net, ballots, options, tr.label())
 	fmt.Fprintf(w, "%-6s %-8s %-14s %-16s\n", "#VC", "cc", "latency(ms)", "throughput(op/s)")
 	for _, cc := range clients {
 		for _, nv := range vcs {
 			res, err := Run(Config{
 				Ballots: ballots, Options: options, VC: nv,
 				Clients: cc, Votes: votesPer, WAN: wan,
-				Seed: fmt.Sprintf("fig4-%s-%d-%d", net, nv, cc),
+				TransportOptions: tr,
+				Seed:             fmt.Sprintf("fig4-%s-%d-%d", net, nv, cc),
 			})
 			if err != nil {
 				return fmt.Errorf("fig4 %s nv=%d cc=%d: %w", net, nv, cc, err)
@@ -50,19 +52,21 @@ func Fig4(w io.Writer, wan bool, vcs, clients []int, ballots, votesPer, options 
 }
 
 // Fig4Clients runs the throughput-vs-concurrency sweeps (4c LAN, 4f WAN).
-func Fig4Clients(w io.Writer, wan bool, vcs, clients []int, ballots, votesPer, options int) error {
+func Fig4Clients(w io.Writer, wan bool, vcs, clients []int, ballots, votesPer, options int, tr TransportOptions) error {
 	net := "LAN"
 	if wan {
 		net = "WAN"
 	}
-	fmt.Fprintf(w, "# Fig4 %s: throughput vs #cc (n=%d ballots, m=%d)\n", net, ballots, options)
+	fmt.Fprintf(w, "# Fig4 %s: throughput vs #cc (n=%d ballots, m=%d%s)\n",
+		net, ballots, options, tr.label())
 	fmt.Fprintf(w, "%-8s %-6s %-16s\n", "cc", "#VC", "throughput(op/s)")
 	for _, nv := range vcs {
 		for _, cc := range clients {
 			res, err := Run(Config{
 				Ballots: ballots, Options: options, VC: nv,
 				Clients: cc, Votes: votesPer, WAN: wan,
-				Seed: fmt.Sprintf("fig4c-%s-%d-%d", net, nv, cc),
+				TransportOptions: tr,
+				Seed:             fmt.Sprintf("fig4c-%s-%d-%d", net, nv, cc),
 			})
 			if err != nil {
 				return fmt.Errorf("fig4c %s nv=%d cc=%d: %w", net, nv, cc, err)
@@ -91,20 +95,92 @@ func Fig5a(w io.Writer, pools []int, votes, clients int) error {
 	return nil
 }
 
-// Fig5b runs the throughput-vs-options sweep.
-func Fig5b(w io.Writer, options []int, ballots, votes, clients int) error {
-	fmt.Fprintf(w, "# Fig5b: throughput vs m (n=%d, %d votes, %d cc, 4 VC)\n", ballots, votes, clients)
-	fmt.Fprintf(w, "%-6s %-16s\n", "m", "throughput(op/s)")
-	for _, m := range options {
-		res, err := Run(Config{
-			Ballots: ballots, Options: m, VC: 4,
-			Clients: clients, Votes: votes,
-			Seed: fmt.Sprintf("fig5b-%d", m),
-		})
+// label annotates a figure header with the non-default channel setup.
+func (tr TransportOptions) label() string {
+	switch {
+	case tr.Authenticated && tr.BatchWindow > 0:
+		return fmt.Sprintf(", signed+batched@%v", tr.BatchWindow)
+	case tr.Authenticated:
+		return ", signed"
+	case tr.BatchWindow > 0:
+		return fmt.Sprintf(", batched@%v", tr.BatchWindow)
+	default:
+		return ""
+	}
+}
+
+// Fig5bRow is one row of the Fig. 5b ablation: throughput at m options for
+// each channel configuration.
+type Fig5bRow struct {
+	Options int
+	// Plain is the paper's configuration: unauthenticated, unbatched.
+	Plain float64
+	// Signed adds per-message Ed25519 channel authentication.
+	Signed float64
+	// Batched is Signed plus the batched message pipeline — like-for-like
+	// with Signed, so the delta isolates the batching win.
+	Batched float64
+}
+
+// Fig5bPoint measures one m for all three channel configurations.
+func Fig5bPoint(m, ballots, votes, clients int, window time.Duration, maxMsgs int) (Fig5bRow, error) {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	row := Fig5bRow{Options: m}
+	base := Config{
+		Ballots: ballots, Options: m, VC: 4,
+		Clients: clients, Votes: votes,
+	}
+	// One seed per m across all three columns: every configuration votes
+	// the identical generated election, so the signed-vs-batched delta is
+	// transport-only.
+	base.Seed = fmt.Sprintf("fig5b-%d", m)
+	configs := []struct {
+		out  *float64
+		name string
+		tr   TransportOptions
+	}{
+		{&row.Plain, "plain", TransportOptions{}},
+		{&row.Signed, "signed", TransportOptions{Authenticated: true}},
+		{&row.Batched, "batched", TransportOptions{Authenticated: true, BatchWindow: window, BatchMaxMessages: maxMsgs}},
+	}
+	for _, c := range configs {
+		cfg := base
+		cfg.TransportOptions = c.tr
+		res, err := Run(cfg)
 		if err != nil {
-			return fmt.Errorf("fig5b m=%d: %w", m, err)
+			return row, fmt.Errorf("fig5b m=%d %s: %w", m, c.name, err)
 		}
-		fmt.Fprintf(w, "%-6d %-16.1f\n", m, res.Throughput)
+		*c.out = res.Throughput
+	}
+	return row, nil
+}
+
+// Fig5b runs the throughput-vs-options sweep with the batched-vs-unbatched
+// ablation columns: the paper's plain configuration, authenticated channels
+// (one signature per message), and authenticated channels over the batched
+// pipeline (one signature per batch). Signed vs batched is the like-for-like
+// comparison quantifying the coalescing win on the LAN profile.
+func Fig5b(w io.Writer, options []int, ballots, votes, clients int, window time.Duration, maxMsgs int) error {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	fmt.Fprintf(w, "# Fig5b: throughput vs m (n=%d, %d votes, %d cc, 4 VC; batch window %v)\n",
+		ballots, votes, clients, window)
+	fmt.Fprintf(w, "%-6s %-16s %-16s %-20s %-10s\n",
+		"m", "plain(op/s)", "signed(op/s)", "signed+batched(op/s)", "speedup")
+	for _, m := range options {
+		row, err := Fig5bPoint(m, ballots, votes, clients, window, maxMsgs)
+		if err != nil {
+			return err
+		}
+		speedup := 0.0
+		if row.Signed > 0 {
+			speedup = row.Batched / row.Signed
+		}
+		fmt.Fprintf(w, "%-6d %-16.1f %-16.1f %-20.1f %-10.2f\n",
+			m, row.Plain, row.Signed, row.Batched, speedup)
 	}
 	return nil
 }

@@ -39,8 +39,17 @@ type Options struct {
 	// the caller drive phases; pass clock.Real{} for wall-clock elections.
 	Clock clock.Clock
 	// Authenticated wraps inter-VC channels with Ed25519 signing (the
-	// paper's authenticated channels). Costs one sign+verify per message.
+	// paper's authenticated channels). Costs one sign+verify per message —
+	// or per batch when BatchWindow is set.
 	Authenticated bool
+	// BatchWindow enables the batched message pipeline when > 0: outgoing
+	// inter-VC messages to the same peer are coalesced for up to this window
+	// into one wire.Batch frame (and, with Authenticated, one signature).
+	// Zero keeps the unbatched per-message path.
+	BatchWindow time.Duration
+	// BatchMaxMessages flushes a batch early once it holds this many
+	// messages (default 128; only meaningful with BatchWindow > 0).
+	BatchMaxMessages int
 	// VCByzantine assigns fault modes to VC nodes by index.
 	VCByzantine map[int]vc.Byzantine
 	// LyingBB marks BB nodes (by index) that serve corrupted reads.
@@ -109,6 +118,9 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 	// VC nodes.
 	man := data.Manifest
 	for i := 0; i < man.NumVC; i++ {
+		// Endpoint stack: network → Signed → Batcher, so a coalesced batch
+		// is framed and signed exactly once (DESIGN.md, "Batched message
+		// pipeline").
 		var ep transport.Endpoint = c.Net.Endpoint(transport.NodeID(i)) //nolint:gosec // <=64
 		if opts.Authenticated {
 			pubs := make(map[transport.NodeID]ed25519.PublicKey, man.NumVC)
@@ -116,6 +128,12 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 				pubs[transport.NodeID(j)] = p //nolint:gosec // <=64
 			}
 			ep = transport.NewSigned(ep, data.VC[i].Private, pubs)
+		}
+		if opts.BatchWindow > 0 {
+			ep = transport.NewBatcher(ep, transport.BatcherOptions{
+				Window:      opts.BatchWindow,
+				MaxMessages: opts.BatchMaxMessages,
+			})
 		}
 		node, err := vc.New(vc.Config{
 			Init:      data.VC[i],

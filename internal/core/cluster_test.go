@@ -228,6 +228,49 @@ func TestAuthenticatedChannels(t *testing.T) {
 	wantCounts(t, res, []int64{1, 1, 1})
 }
 
+func TestBatchedPipelineFullElection(t *testing.T) {
+	// The batched message pipeline (Signed + Batcher endpoints) must run the
+	// complete election — collection, vote-set consensus, push, tally —
+	// exactly like the unbatched path.
+	data := testData(t, 4)
+	c, err := NewCluster(data, Options{
+		Authenticated:    true,
+		BatchWindow:      500 * time.Microsecond,
+		BatchMaxMessages: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	castAll(t, c, []int{0, 1, 2, 0})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := c.RunPipeline(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, res, []int64{2, 1, 1})
+}
+
+func TestBatchedUnauthenticatedPipeline(t *testing.T) {
+	// Batching without channel authentication (the knob combinations are
+	// independent).
+	data := testData(t, 3)
+	c, err := NewCluster(data, Options{BatchWindow: 300 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	castAll(t, c, []int{2, 2, 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := c.RunPipeline(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, res, []int64{0, 1, 2})
+}
+
 func TestSafetyReceiptImpliesTallied(t *testing.T) {
 	// Theorem 2's contract: a receipt in hand implies the vote is published
 	// and tallied — even when the responder crashes right after answering

@@ -20,16 +20,22 @@ import (
 	"ddemos/internal/store"
 )
 
-func signShare(priv ed25519.PrivateKey, domain, electionID string, serial uint64, extra []byte, share shamir.Share) []byte {
-	return sig.Sign(priv, domain,
+// shareParts is the canonical signed-parts layout for share signatures —
+// the single source for signShare, verifyShare and ReceiptShareItem, so the
+// single-message and batch verification paths can never desynchronize.
+func shareParts(electionID string, serial uint64, extra []byte, share shamir.Share) [][]byte {
+	return [][]byte{
 		[]byte(electionID), sig.Uint64Bytes(serial), extra,
-		sig.Uint64Bytes(uint64(share.Index)), group.ScalarBytes(share.Value))
+		sig.Uint64Bytes(uint64(share.Index)), group.ScalarBytes(share.Value),
+	}
+}
+
+func signShare(priv ed25519.PrivateKey, domain, electionID string, serial uint64, extra []byte, share shamir.Share) []byte {
+	return sig.Sign(priv, domain, shareParts(electionID, serial, extra, share)...)
 }
 
 func verifyShare(pub ed25519.PublicKey, sigBytes []byte, domain, electionID string, serial uint64, extra []byte, share shamir.Share) bool {
-	return sig.Verify(pub, sigBytes, domain,
-		[]byte(electionID), sig.Uint64Bytes(serial), extra,
-		sig.Uint64Bytes(uint64(share.Index)), group.ScalarBytes(share.Value))
+	return sig.Verify(pub, sigBytes, domain, shareParts(electionID, serial, extra, share)...)
 }
 
 // Setup runs the Election Authority: it generates all keys, ballots and

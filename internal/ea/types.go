@@ -18,6 +18,7 @@ import (
 	"ddemos/internal/crypto/elgamal"
 	"ddemos/internal/crypto/shamir"
 	"ddemos/internal/crypto/zkp"
+	"ddemos/internal/sig"
 	"ddemos/internal/store"
 )
 
@@ -236,6 +237,17 @@ const (
 	receiptShareDomain = "ddemos/v1/receipt-share"
 	mskShareDomain     = "ddemos/v1/msk-share"
 )
+
+// ReceiptShareDomain exposes the receipt-share signature domain for batch
+// verification (sig.VerifyMany) in the VC message pipeline.
+const ReceiptShareDomain = receiptShareDomain
+
+// ReceiptShareItem builds the sig.VerifyMany item for one receipt-share
+// signature, letting VC nodes validate a whole batch of disclosed shares in
+// one pass instead of per-message sig.Verify calls.
+func ReceiptShareItem(pub ed25519.PublicKey, sigBytes []byte, electionID string, serial uint64, lineHash [32]byte, share shamir.Share) sig.Item {
+	return sig.Item{Pub: pub, Sig: sigBytes, Parts: shareParts(electionID, serial, lineHash[:], share)}
+}
 
 // SignReceiptShare produces the EA signature for a receipt share.
 func SignReceiptShare(priv ed25519.PrivateKey, electionID string, serial uint64, lineHash [32]byte, share shamir.Share) []byte {

@@ -108,9 +108,15 @@ func (c *VCClient) SubmitVote(ctx context.Context, serial uint64, code []byte) (
 		return nil, fmt.Errorf("httpapi: vote: %w", err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	var vr VoteResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&vr); err != nil {
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
 		return nil, fmt.Errorf("httpapi: vote response: %w", err)
+	}
+	var vr VoteResponse
+	if err := json.Unmarshal(respBody, &vr); err != nil {
+		// Non-JSON bodies (proxy errors, 404 pages) get surfaced verbatim
+		// instead of as a confusing unmarshal error.
+		return nil, fmt.Errorf("httpapi: vote response %s: %q", resp.Status, bytes.TrimSpace(respBody))
 	}
 	if vr.Error != "" {
 		return nil, fmt.Errorf("httpapi: vc: %s", vr.Error)

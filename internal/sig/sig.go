@@ -26,6 +26,31 @@ func NewKeyPair(rnd io.Reader) (KeyPair, error) {
 	return KeyPair{Public: pub, Private: priv}, nil
 }
 
+// The canonical framing of this package: every part is prefixed with its
+// u64 big-endian length, so no two distinct part sequences collide.
+// appendFramed builds framed byte strings (signed messages); hashFramed
+// streams the identical framing into a hash (batch digests, fingerprints).
+// The two must stay byte-for-byte equivalent.
+
+func appendFramed(buf []byte, parts ...[]byte) []byte {
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+func hashFramed(h io.Writer, parts ...[]byte) {
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		_, _ = h.Write(n[:])
+		_, _ = h.Write(p)
+	}
+}
+
 // message builds the canonical, length-prefixed byte string for a domain and
 // parts, so that no two distinct (domain, parts) tuples collide.
 func message(domain string, parts [][]byte) []byte {
@@ -33,17 +58,8 @@ func message(domain string, parts [][]byte) []byte {
 	for _, p := range parts {
 		size += 8 + len(p)
 	}
-	buf := make([]byte, 0, size)
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], uint64(len(domain)))
-	buf = append(buf, n[:]...)
-	buf = append(buf, domain...)
-	for _, p := range parts {
-		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
-		buf = append(buf, n[:]...)
-		buf = append(buf, p...)
-	}
-	return buf
+	buf := appendFramed(make([]byte, 0, size), []byte(domain))
+	return appendFramed(buf, parts...)
 }
 
 // Sign signs the domain-separated message.

@@ -23,12 +23,20 @@ type TCPNode struct {
 	peers map[NodeID]string // id -> address
 
 	mu      sync.Mutex
-	conns   map[NodeID]net.Conn
+	conns   map[NodeID]*outConn
 	inbound map[net.Conn]struct{}
 	out     chan Envelope
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+}
+
+// outConn is one outbound connection with its own write lock: frames to the
+// same peer serialize (no interleaved frames), while a blocked write to one
+// slow peer cannot stall sends to the others.
+type outConn struct {
+	c       net.Conn
+	writeMu sync.Mutex
 }
 
 var _ Endpoint = (*TCPNode)(nil)
@@ -46,7 +54,7 @@ func NewTCPNode(id NodeID, listenAddr string, peers map[NodeID]string) (*TCPNode
 		id:      id,
 		ln:      ln,
 		peers:   peers,
-		conns:   make(map[NodeID]net.Conn),
+		conns:   make(map[NodeID]*outConn),
 		inbound: make(map[net.Conn]struct{}),
 		out:     make(chan Envelope, 1024),
 		done:    make(chan struct{}),
@@ -65,28 +73,38 @@ func (n *TCPNode) ID() NodeID { return n.id }
 // Recv implements Endpoint.
 func (n *TCPNode) Recv() <-chan Envelope { return n.out }
 
-// Send implements Endpoint.
+// Send implements Endpoint. A write error evicts the cached connection and
+// the send is retried once over a fresh dial: a peer that restarted would
+// otherwise eat one errored write per cached conn before traffic flows
+// again. (A dead conn's first write can still succeed into the OS buffer
+// and be lost silently — only retransmission above this layer covers that.)
 func (n *TCPNode) Send(to NodeID, payload []byte) error {
-	conn, err := n.conn(to)
-	if err != nil {
-		return err
-	}
 	frame := make([]byte, 6+len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(2+len(payload))) //nolint:gosec // bounded
 	binary.BigEndian.PutUint16(frame[4:], uint16(n.id))
 	copy(frame[6:], payload)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return ErrClosed
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		oc, err := n.conn(to)
+		if err != nil {
+			return err
+		}
+		oc.writeMu.Lock()
+		_, err = oc.c.Write(frame)
+		oc.writeMu.Unlock()
+		if err == nil {
+			return nil
+		}
+		// Evict (unless a fresh conn already replaced it) and retry.
+		n.mu.Lock()
+		if n.conns[to] == oc {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		_ = oc.c.Close()
+		lastErr = err
 	}
-	if _, err := conn.Write(frame); err != nil {
-		// Drop the connection; the next Send re-dials.
-		delete(n.conns, to)
-		_ = conn.Close()
-		return fmt.Errorf("transport: send to %d: %w", to, err)
-	}
-	return nil
+	return fmt.Errorf("transport: send to %d: %w", to, lastErr)
 }
 
 // Close implements Endpoint.
@@ -99,8 +117,8 @@ func (n *TCPNode) Close() error {
 	n.closed = true
 	close(n.done)
 	conns := make([]net.Conn, 0, len(n.conns)+len(n.inbound))
-	for _, c := range n.conns {
-		conns = append(conns, c)
+	for _, oc := range n.conns {
+		conns = append(conns, oc.c)
 	}
 	// Accepted connections must be closed too, or their readLoops block on
 	// reads from still-open peers and Close deadlocks on wg.Wait.
@@ -117,15 +135,15 @@ func (n *TCPNode) Close() error {
 	return nil
 }
 
-func (n *TCPNode) conn(to NodeID) (net.Conn, error) {
+func (n *TCPNode) conn(to NodeID) (*outConn, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := n.conns[to]; ok {
+	if oc, ok := n.conns[to]; ok {
 		n.mu.Unlock()
-		return c, nil
+		return oc, nil
 	}
 	addr, ok := n.peers[to]
 	n.mu.Unlock()
@@ -166,8 +184,9 @@ func (n *TCPNode) conn(to NodeID) (net.Conn, error) {
 		_ = c.Close()
 		return existing, nil
 	}
-	n.conns[to] = c
-	return c, nil
+	oc := &outConn{c: c}
+	n.conns[to] = oc
+	return oc, nil
 }
 
 func (n *TCPNode) acceptLoop() {

@@ -315,7 +315,7 @@ func TestSignedEndpointCannotReplayAcrossRoutes(t *testing.T) {
 	// Rebuild the signed frame: we don't have it (b strips it), so simulate
 	// the replay by signing for route 0->1 and delivering to 2 through the
 	// raw network. The Signed layer at 2 must reject it.
-	sg := sig.Sign(keys[0].Private, "ddemos/v1/channel", routeBytes(0, 1), env.Payload)
+	sg := sig.SignBatch(keys[0].Private, sigDomain, routeBytes(0, 1), env.Payload)
 	frame := append(append([]byte{}, sg...), env.Payload...)
 	if err := net.Endpoint(0).Send(2, frame); err != nil {
 		t.Fatal(err)

@@ -122,7 +122,7 @@ type Node struct {
 
 	metrics Metrics
 
-	workers []chan job
+	workers []chan []job
 	done    chan struct{}
 	stopped sync.Once
 	wg      sync.WaitGroup
@@ -232,9 +232,9 @@ func New(cfg Config) (*Node, error) {
 	if workers <= 0 {
 		workers = 8
 	}
-	n.workers = make([]chan job, workers)
+	n.workers = make([]chan []job, workers)
 	for i := range n.workers {
-		n.workers[i] = make(chan job, 1024)
+		n.workers[i] = make(chan []job, 256)
 	}
 	return n, nil
 }
@@ -265,11 +265,27 @@ func (n *Node) Index() int { return int(n.self) }
 // after vote-set consensus).
 func (n *Node) MskShare() ea.MskShare { return n.mskShare }
 
+// pumpDrainMax bounds how many queued envelopes one pump iteration drains
+// into a single dispatch round.
+const pumpDrainMax = 256
+
+// maxStagedJobs bounds the decoded-but-undispatched ballot messages of one
+// round: a single Batch envelope can unpack into thousands of messages, so
+// memory must be bounded by messages, not envelopes. (One envelope can still
+// stage up to wire's per-batch frame cap; this bounds the amplification
+// across envelopes.)
+const maxStagedJobs = 4096
+
 // pump decodes frames and routes them: ballot-protocol messages to the
 // serial-affine worker pool (per-ballot ordering, parallel across ballots),
-// consensus traffic to the vote-set-consensus engine.
+// consensus traffic to the vote-set-consensus engine. This is the dispatch
+// stage of the batched pipeline: wire.Batch envelopes are split inline, and
+// everything already queued on the endpoint is drained greedily, so each
+// worker receives its share of a whole receive burst in one channel
+// operation and can validate it per lock acquisition.
 func (n *Node) pump() {
 	defer n.wg.Done()
+	byWorker := make([][]job, len(n.workers))
 	for {
 		select {
 		case <-n.done:
@@ -278,54 +294,131 @@ func (n *Node) pump() {
 			if !ok {
 				return
 			}
-			msg, err := wire.Decode(env.Payload)
-			if err != nil {
-				n.metrics.BadMessages.Add(1)
-				continue
+			staged := n.ingest(env, byWorker)
+			drain := true
+			for drained := 1; drain && drained < pumpDrainMax && staged < maxStagedJobs; drained++ {
+				select {
+				case env, ok = <-n.ep.Recv():
+					if !ok {
+						n.dispatchBatches(byWorker)
+						return
+					}
+					staged += n.ingest(env, byWorker)
+				default:
+					drain = false
+				}
 			}
-			from := uint16(env.From) //nolint:gosec // validated below
-			if int(from) >= n.nv {
-				n.metrics.BadMessages.Add(1)
-				continue
-			}
-			switch m := msg.(type) {
-			case *wire.Endorse:
-				n.dispatch(m.Serial, job{from, msg})
-			case *wire.Endorsement:
-				n.dispatch(m.Serial, job{from, msg})
-			case *wire.VoteP:
-				n.dispatch(m.Serial, job{from, msg})
-			case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse:
-				n.routeConsensus(from, msg)
-			}
+			n.dispatchBatches(byWorker)
 		}
 	}
 }
 
-func (n *Node) dispatch(serial uint64, j job) {
-	w := n.workers[serial%uint64(len(n.workers))]
-	select {
-	case w <- j:
-	case <-n.done:
+// ingest decodes one envelope — splitting Batch envelopes from peers that
+// coalesce even when our own endpoint stack does not unbatch — and stages
+// its messages for dispatch, returning how many jobs it staged.
+func (n *Node) ingest(env transport.Envelope, byWorker [][]job) int {
+	from := uint16(env.From) //nolint:gosec // validated below
+	if int(from) >= n.nv {
+		n.metrics.BadMessages.Add(1)
+		return 0
+	}
+	msg, err := wire.Decode(env.Payload)
+	if err != nil {
+		n.metrics.BadMessages.Add(1)
+		return 0
+	}
+	if b, ok := msg.(*wire.Batch); ok {
+		msgs, err := b.Unpack()
+		if err != nil {
+			n.metrics.BadMessages.Add(1)
+			return 0
+		}
+		staged := 0
+		for _, m := range msgs {
+			staged += n.stage(from, m, byWorker)
+		}
+		return staged
+	}
+	return n.stage(from, msg, byWorker)
+}
+
+// stage routes one decoded message: ballot traffic to its serial's worker
+// batch (returning 1), consensus traffic inline to the vote-set-consensus
+// engine.
+func (n *Node) stage(from uint16, msg wire.Message, byWorker [][]job) int {
+	var serial uint64
+	switch m := msg.(type) {
+	case *wire.Endorse:
+		serial = m.Serial
+	case *wire.Endorsement:
+		serial = m.Serial
+	case *wire.VoteP:
+		serial = m.Serial
+	case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse:
+		n.routeConsensus(from, msg)
+		return 0
+	default:
+		n.metrics.BadMessages.Add(1)
+		return 0
+	}
+	w := serial % uint64(len(n.workers))
+	byWorker[w] = append(byWorker[w], job{from, msg})
+	return 1
+}
+
+// dispatchBatches hands each worker its staged jobs in one send and resets
+// the staging slices for the next round.
+func (n *Node) dispatchBatches(byWorker [][]job) {
+	for i, jobs := range byWorker {
+		if len(jobs) == 0 {
+			continue
+		}
+		batch := make([]job, len(jobs))
+		copy(batch, jobs)
+		byWorker[i] = jobs[:0]
+		select {
+		case n.workers[i] <- batch:
+		case <-n.done:
+			return
+		}
 	}
 }
 
-func (n *Node) workerLoop(ch chan job) {
+func (n *Node) workerLoop(ch chan []job) {
 	defer n.wg.Done()
 	for {
 		select {
 		case <-n.done:
 			return
-		case j := <-ch:
-			switch m := j.msg.(type) {
-			case *wire.Endorse:
-				n.onEndorse(j.from, m)
-			case *wire.Endorsement:
-				n.onEndorsement(j.from, m)
-			case *wire.VoteP:
-				n.onVoteP(j.from, m)
-			}
+		case batch := <-ch:
+			n.processBatch(batch)
 		}
+	}
+}
+
+// processBatch handles one worker batch. ENDORSEMENTs commute (each only
+// deposits a signature into a waiting collector) and are validated together;
+// ENDORSEs run in arrival order; VOTE_Ps are validated as one batch and
+// applied per-serial under a single state-lock acquisition. Relative
+// reordering across these classes is indistinguishable from network
+// reordering, which the protocol already tolerates.
+func (n *Node) processBatch(batch []job) {
+	var ends, votePs []job
+	for _, j := range batch {
+		switch m := j.msg.(type) {
+		case *wire.Endorsement:
+			ends = append(ends, j)
+		case *wire.Endorse:
+			n.onEndorse(j.from, m)
+		case *wire.VoteP:
+			votePs = append(votePs, j)
+		}
+	}
+	if len(ends) > 0 {
+		n.onEndorsementBatch(ends)
+	}
+	if len(votePs) > 0 {
+		n.onVotePBatch(votePs)
 	}
 }
 
@@ -340,6 +433,15 @@ func (n *Node) state(serial uint64) *ballotState {
 		sh.ballots[serial] = st
 	}
 	return st
+}
+
+// peekState returns the runtime state for a serial, or nil, without
+// allocating — unverified messages must not materialize persistent state.
+func (n *Node) peekState(serial uint64) *ballotState {
+	sh := &n.shards[serial%64]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ballots[serial]
 }
 
 // withinHours checks the paper's only clock dependency.
@@ -488,11 +590,14 @@ func (n *Node) collectEndorsements(ctx context.Context, serial uint64, code []by
 	}
 	n.endorseMu.Unlock()
 
-	if !exists {
-		frame := wire.Encode(&wire.Endorse{Serial: serial, Code: code})
-		if err := transport.Multicast(n.ep, n.peers, frame); err != nil {
-			n.metrics.SendErrors.Add(1)
-		}
+	// Multicast ENDORSE on every attempt, not only the collector-creating
+	// one: a collector can outlive a timed-out collection (lost replies are
+	// never retransmitted), and a retry must re-request or it waits forever.
+	// Peers endorse idempotently and duplicate replies dedup, so the extra
+	// multicast under benign same-code races is harmless.
+	frame := wire.Encode(&wire.Endorse{Serial: serial, Code: code})
+	if err := transport.Multicast(n.ep, n.peers, frame); err != nil {
+		n.metrics.SendErrors.Add(1)
 	}
 	select {
 	case <-col.done:
@@ -575,29 +680,47 @@ func (n *Node) onEndorse(from uint16, m *wire.Endorse) {
 	}
 }
 
-// onEndorsement records an endorsement signature for a pending collection.
-func (n *Node) onEndorsement(from uint16, m *wire.Endorsement) {
-	if m.Signer != from || int(m.Signer) >= len(n.vcPubs) {
-		return
+// onEndorsementBatch records a batch of endorsement signatures: every
+// signature in the batch is checked with one sig.VerifyMany call (duplicates
+// verified once, large batches fanned out across CPUs) and the survivors are
+// recorded under a single endorseMu acquisition — the per-message
+// verify-lock-record loop collapsed to one pass per receive batch.
+func (n *Node) onEndorsementBatch(batch []job) {
+	msgs := make([]*wire.Endorsement, 0, len(batch))
+	items := make([]sig.Item, 0, len(batch))
+	for _, j := range batch {
+		m := j.msg.(*wire.Endorsement)
+		if m.Signer != j.from || int(m.Signer) >= len(n.vcPubs) {
+			continue
+		}
+		msgs = append(msgs, m)
+		items = append(items, sig.Item{Pub: n.vcPubs[m.Signer], Sig: m.Sig, Parts: [][]byte{
+			[]byte(n.manifest.ElectionID), sig.Uint64Bytes(m.Serial), m.Code,
+		}})
 	}
-	if !sig.Verify(n.vcPubs[m.Signer], m.Sig, endorseDomain,
-		[]byte(n.manifest.ElectionID), sig.Uint64Bytes(m.Serial), m.Code) {
-		n.metrics.BadMessages.Add(1)
-		return
-	}
-	key := collectorKey{serial: m.Serial, code: string(m.Code)}
+	ok := sig.VerifyMany(endorseDomain, items)
+	var bad int64
 	n.endorseMu.Lock()
-	defer n.endorseMu.Unlock()
-	col, ok := n.collectors[key]
-	if !ok {
-		return
+	for i, m := range msgs {
+		if !ok[i] {
+			bad++
+			continue
+		}
+		col, found := n.collectors[collectorKey{serial: m.Serial, code: string(m.Code)}]
+		if !found {
+			continue
+		}
+		if _, dup := col.sigs[m.Signer]; dup {
+			continue
+		}
+		col.sigs[m.Signer] = m.Sig
+		if len(col.sigs) == col.need {
+			close(col.done)
+		}
 	}
-	if _, dup := col.sigs[m.Signer]; dup {
-		return
-	}
-	col.sigs[m.Signer] = m.Sig
-	if len(col.sigs) == col.need {
-		close(col.done)
+	n.endorseMu.Unlock()
+	if bad > 0 {
+		n.metrics.BadMessages.Add(bad)
 	}
 }
 
@@ -621,38 +744,117 @@ func (n *Node) multicastVoteP(serial uint64, code []byte, share shamir.Share, sh
 	}
 }
 
-// onVoteP validates a disclosed share (UCERT first, per §III-E) and joins
-// the disclosure round; reconstruction fires at Nv-fv shares.
-func (n *Node) onVoteP(from uint16, m *wire.VoteP) {
+// votePCandidate carries one VOTE_P through the batch validation stages.
+// cert is the certificate that actually passed VerifyUCert for this
+// (serial, code) — not necessarily the bytes this message carried — or nil
+// when the ballot state already holds a verified certificate.
+type votePCandidate struct {
+	from  uint16
+	m     *wire.VoteP
+	cert  *wire.UCert
+	bd    *store.BallotData
+	part  uint8
+	row   int
+	share shamir.Share
+}
+
+// onVotePBatch validates a batch of disclosed shares (UCERT first, per
+// §III-E) and joins the disclosure round; reconstruction fires at Nv-fv
+// shares. The batch path amortizes the two expensive steps: certificates the
+// ballot state already accepted are not re-verified (every VOTE_P for a
+// ballot carries the same UCERT), all EA share signatures are checked in one
+// sig.VerifyMany pass, and each serial's shares are applied under a single
+// state-lock acquisition.
+func (n *Node) onVotePBatch(batch []job) {
 	if !n.withinHours() {
 		return
 	}
-	if m.ShareIndex != uint32(from)+1 {
-		return // nodes may only disclose their own share
+	cands := make([]votePCandidate, 0, len(batch))
+	items := make([]sig.Item, 0, len(batch))
+	// The canonical burst is all Nv-1 peers disclosing for one ballot in a
+	// single batch, every message carrying the identical UCERT: verify one
+	// certificate per (serial, code) per batch and let every later
+	// candidate reference the cert that actually verified — a candidate's
+	// own (unverified) cert bytes are never stored or re-disclosed.
+	certSeen := make(map[collectorKey]*wire.UCert, len(batch))
+	for _, j := range batch {
+		m := j.msg.(*wire.VoteP)
+		if m.ShareIndex != uint32(j.from)+1 {
+			continue // nodes may only disclose their own share
+		}
+		if m.Cert.Serial != m.Serial || !bytes.Equal(m.Cert.Code, m.Code) {
+			n.metrics.BadMessages.Add(1)
+			continue
+		}
+		// locate() validates (serial, code) against the ballot store before
+		// anything touches n.state: garbage serials must not allocate
+		// persistent ballot state.
+		bd, part, row, err := n.locate(m.Serial, m.Code)
+		if err != nil {
+			continue
+		}
+		// Peek, never allocate: state is only created in applyShares, after
+		// the cert and share signature both verified, preserving the old
+		// path's validate-then-allocate order.
+		var certKnown bool
+		if st := n.peekState(m.Serial); st != nil {
+			st.mu.Lock()
+			certKnown = st.cert != nil && bytes.Equal(st.usedCode, m.Code)
+			st.mu.Unlock()
+		}
+		certKey := collectorKey{serial: m.Serial, code: string(m.Code)}
+		var cert *wire.UCert
+		if !certKnown {
+			if cert = certSeen[certKey]; cert == nil {
+				if !n.VerifyUCert(&m.Cert) {
+					n.metrics.BadMessages.Add(1)
+					continue
+				}
+				c := m.Cert
+				cert = &c
+				certSeen[certKey] = cert
+			}
+		}
+		shareVal, err := group.DecodeScalar(m.ShareValue)
+		if err != nil {
+			n.metrics.BadMessages.Add(1)
+			continue
+		}
+		sh := shamir.Share{Index: m.ShareIndex, Value: shareVal}
+		cands = append(cands, votePCandidate{from: j.from, m: m, cert: cert, bd: bd, part: part, row: row, share: sh})
+		items = append(items, ea.ReceiptShareItem(n.eaPub, m.ShareSig,
+			n.manifest.ElectionID, m.Serial, bd.Lines[part][row].Hash, sh))
 	}
-	cert := m.Cert
-	if cert.Serial != m.Serial || !bytes.Equal(cert.Code, m.Code) || !n.VerifyUCert(&cert) {
-		n.metrics.BadMessages.Add(1)
+	if len(cands) == 0 {
 		return
 	}
-	bd, part, row, err := n.locate(m.Serial, m.Code)
-	if err != nil {
-		return
-	}
-	// Validate the disclosed share against the EA signature.
-	shareVal, err := group.DecodeScalar(m.ShareValue)
-	if err != nil {
-		n.metrics.BadMessages.Add(1)
-		return
-	}
-	peerShare := shamir.Share{Index: m.ShareIndex, Value: shareVal}
-	lineHash := bd.Lines[part][row].Hash
-	if !ea.VerifyReceiptShare(n.eaPub, m.ShareSig, n.manifest.ElectionID, m.Serial, lineHash, peerShare) {
-		n.metrics.BadShares.Add(1)
-		return
-	}
+	ok := sig.VerifyMany(ea.ReceiptShareDomain, items)
 
-	st := n.state(m.Serial)
+	// Group surviving shares by serial and apply each group in one state
+	// visit; candidate order is preserved within a group.
+	bySerial := make(map[uint64][]int, len(cands))
+	var order []uint64
+	for i := range cands {
+		if !ok[i] {
+			n.metrics.BadShares.Add(1)
+			continue
+		}
+		serial := cands[i].m.Serial
+		if _, seen := bySerial[serial]; !seen {
+			order = append(order, serial)
+		}
+		bySerial[serial] = append(bySerial[serial], i)
+	}
+	for _, serial := range order {
+		n.applyShares(serial, cands, bySerial[serial])
+	}
+}
+
+// applyShares records a serial's batch of validated shares under one lock
+// acquisition, disclosing our own share on first contact and reconstructing
+// the receipt once Nv-fv shares are in.
+func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
+	st := n.state(serial)
 	var disclose bool
 	var ownSh shamir.Share
 	var ownSig []byte
@@ -660,41 +862,50 @@ func (n *Node) onVoteP(from uint16, m *wire.VoteP) {
 	var discloseCert *wire.UCert
 
 	st.mu.Lock()
-	switch st.status {
-	case NotVoted:
-		st.status = Pending
-		st.usedCode = append([]byte(nil), m.Code...)
-		st.part, st.row = part, row
-		st.cert = &cert
-		st.shares = map[uint32]*big.Int{peerShare.Index: peerShare.Value}
-	case Pending, Voted:
-		if !bytes.Equal(st.usedCode, m.Code) {
-			// Impossible with honest-majority UCERTs; drop defensively.
-			st.mu.Unlock()
-			n.metrics.BadMessages.Add(1)
-			return
+	for _, i := range idxs {
+		c := &cands[i]
+		switch st.status {
+		case NotVoted:
+			if c.cert == nil {
+				// certKnown candidates have no cert of their own; the
+				// state they relied on implies status >= Pending, so this
+				// branch is unreachable for them — drop defensively rather
+				// than certify without a verified cert.
+				continue
+			}
+			st.status = Pending
+			st.usedCode = append([]byte(nil), c.m.Code...)
+			st.part, st.row = c.part, c.row
+			st.cert = c.cert
+			st.shares = map[uint32]*big.Int{c.share.Index: c.share.Value}
+		case Pending, Voted:
+			if !bytes.Equal(st.usedCode, c.m.Code) {
+				// Impossible with honest-majority UCERTs; drop defensively.
+				n.metrics.BadMessages.Add(1)
+				continue
+			}
+			if st.shares == nil {
+				st.shares = make(map[uint32]*big.Int, n.hv)
+			}
+			st.shares[c.share.Index] = c.share.Value
 		}
-		if st.shares == nil {
-			st.shares = make(map[uint32]*big.Int, n.hv)
-		}
-		st.shares[peerShare.Index] = peerShare.Value
-	}
-	if !st.sentVoteP {
-		st.sentVoteP = true
-		own, sg, err := n.ownShare(bd, part, row)
-		if err == nil {
-			st.shares[own.Index] = own.Value
-			disclose = true
-			ownSh, ownSig = own, sg
-			discloseCode = st.usedCode
-			discloseCert = st.cert
+		if !st.sentVoteP {
+			st.sentVoteP = true
+			own, sg, err := n.ownShare(c.bd, c.part, c.row)
+			if err == nil {
+				st.shares[own.Index] = own.Value
+				disclose = true
+				ownSh, ownSig = own, sg
+				discloseCode = st.usedCode
+				discloseCert = st.cert
+			}
 		}
 	}
 	n.maybeReconstructLocked(st)
 	st.mu.Unlock()
 
 	if disclose {
-		n.multicastVoteP(m.Serial, discloseCode, ownSh, ownSig, discloseCert)
+		n.multicastVoteP(serial, discloseCode, ownSh, ownSig, discloseCert)
 	}
 }
 

@@ -1,0 +1,229 @@
+package vc
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"sync"
+	"testing"
+	"time"
+
+	"ddemos/internal/ballot"
+	"ddemos/internal/clock"
+	"ddemos/internal/ea"
+	"ddemos/internal/transport"
+)
+
+// newClusterStack builds a VC cluster whose endpoints are wrapped by stack
+// (per node index), over a Memnet with the given link profile — the harness
+// for the batched-pipeline and fault-injection tests.
+func newClusterStack(t *testing.T, numBallots, numVC int, lp transport.LinkProfile,
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint) transport.Endpoint) *cluster {
+	t.Helper()
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "vc-batch-test",
+		Options:     []string{"yes", "no"},
+		NumBallots:  numBallots,
+		NumVC:       numVC,
+		NumBB:       1,
+		NumTrustees: 1,
+		VotingStart: start,
+		VotingEnd:   start.Add(2 * time.Hour),
+		VCOnly:      true,
+		Seed:        []byte("vc-batch-cluster-seed"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{
+		t:    t,
+		data: data,
+		net:  transport.NewMemnet(lp),
+		clk:  clock.NewFake(start.Add(time.Minute)),
+	}
+	for i := 0; i < numVC; i++ {
+		ep := stack(i, data, c.net.Endpoint(transport.NodeID(i)))
+		node, err := New(Config{
+			Init:     data.VC[i],
+			Endpoint: ep,
+			Clock:    c.clk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Start()
+		c.nodes = append(c.nodes, node)
+	}
+	t.Cleanup(c.stop)
+	return c
+}
+
+// batchedStack is the production endpoint stack: network → Signed → Batcher.
+func batchedStack(opts transport.BatcherOptions) func(int, *ea.ElectionData, transport.Endpoint) transport.Endpoint {
+	return func(i int, data *ea.ElectionData, ep transport.Endpoint) transport.Endpoint {
+		pubs := make(map[transport.NodeID]ed25519.PublicKey, data.Manifest.NumVC)
+		for j, p := range data.Manifest.VCPublics {
+			pubs[transport.NodeID(j)] = p //nolint:gosec // small
+		}
+		return transport.NewBatcher(transport.NewSigned(ep, data.VC[i].Private, pubs), opts)
+	}
+}
+
+func TestVoteBatchedPipeline(t *testing.T) {
+	c := newClusterStack(t, 8, 4,
+		transport.LinkProfile{Latency: 200 * time.Microsecond},
+		batchedStack(transport.BatcherOptions{Window: 500 * time.Microsecond}))
+	for i := 0; i < 4; i++ {
+		serial := uint64(i + 1)
+		receipt, err := c.vote(serial, ballot.PartA, i%2, i)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if !bytes.Equal(receipt, c.expectedReceipt(serial, ballot.PartA, i%2)) {
+			t.Fatalf("node %d: wrong receipt", i)
+		}
+	}
+}
+
+func TestVoteBatchedConcurrentVoters(t *testing.T) {
+	const voters = 40
+	c := newClusterStack(t, voters, 4,
+		transport.LinkProfile{Latency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond},
+		batchedStack(transport.BatcherOptions{Window: time.Millisecond}))
+	errs := make(chan error, voters)
+	for v := 0; v < voters; v++ {
+		go func(v int) {
+			serial := uint64(v + 1)
+			part := ballot.PartID(v % 2) //nolint:gosec // 0 or 1
+			receipt, err := c.vote(serial, part, v%2, v%4)
+			if err == nil && !bytes.Equal(receipt, c.expectedReceipt(serial, part, v%2)) {
+				err = ErrInvalidCode
+			}
+			errs <- err
+		}(v)
+	}
+	for v := 0; v < voters; v++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVoteBatchingSenderOnlyInterop(t *testing.T) {
+	// Only node 0 batches; the other nodes run raw endpoints with no
+	// unbatching wrapper, so their pumps must split wire.Batch envelopes
+	// themselves (mixed deployments with inconsistent -batch-window flags).
+	c := newClusterStack(t, 4, 4,
+		transport.LinkProfile{Latency: 200 * time.Microsecond},
+		func(i int, data *ea.ElectionData, ep transport.Endpoint) transport.Endpoint {
+			if i == 0 {
+				return transport.NewBatcher(ep, transport.BatcherOptions{Window: time.Millisecond})
+			}
+			return ep
+		})
+	receipt, err := c.vote(1, ballot.PartB, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(receipt, c.expectedReceipt(1, ballot.PartB, 1)) {
+		t.Fatal("wrong receipt")
+	}
+}
+
+func TestBatchedDuplicationIsIdempotent(t *testing.T) {
+	// Whole-batch duplication re-delivers every message inside the batch;
+	// duplicate ENDORSEMENTs and VOTE_Ps must not corrupt any receipt.
+	const voters = 12
+	c := newClusterStack(t, voters, 4,
+		transport.LinkProfile{Latency: 200 * time.Microsecond, Jitter: 300 * time.Microsecond, DupRate: 0.4},
+		batchedStack(transport.BatcherOptions{Window: time.Millisecond, MaxMessages: 8}))
+	for v := 0; v < voters; v++ {
+		serial := uint64(v + 1)
+		receipt, err := c.vote(serial, ballot.PartA, v%2, v%4)
+		if err != nil {
+			t.Fatalf("ballot %d: %v", serial, err)
+		}
+		if !bytes.Equal(receipt, c.expectedReceipt(serial, ballot.PartA, v%2)) {
+			t.Fatalf("ballot %d: wrong receipt", serial)
+		}
+	}
+}
+
+// TestBatchedFaultInjectionAtMostOneUCert drives the core safety invariant
+// through the batched pipeline under Memnet fault injection: whole batches
+// are dropped, duplicated and reordered while two different codes race for
+// every ballot. No ballot may ever certify two codes — receipts may fail
+// (drops without retransmission can starve the endorsement threshold), but
+// any two nodes that certified a ballot must agree.
+func TestBatchedFaultInjectionAtMostOneUCert(t *testing.T) {
+	const ballots = 12
+	c := newClusterStack(t, ballots, 4,
+		transport.LinkProfile{
+			Latency:  200 * time.Microsecond,
+			Jitter:   2 * time.Millisecond, // reorders whole batches
+			DropRate: 0.10,
+			DupRate:  0.15,
+		},
+		batchedStack(transport.BatcherOptions{Window: time.Millisecond, MaxMessages: 6}))
+
+	type res struct {
+		serial  uint64
+		receipt []byte
+		err     error
+	}
+	results := make(chan res, 2*ballots)
+	var wg sync.WaitGroup
+	for b := 0; b < ballots; b++ {
+		serial := uint64(b + 1)
+		codeA, err := c.data.Ballots[b].CodeFor(ballot.PartA, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codeB, err := c.data.Ballots[b].CodeFor(ballot.PartB, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, code := range [][]byte{codeA, codeB} {
+			wg.Add(1)
+			go func(at int, code []byte) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				r, err := c.nodes[at].SubmitVote(ctx, serial, code)
+				results <- res{serial, r, err}
+			}((b+i)%4, code)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	receipts := make(map[uint64]int)
+	for r := range results {
+		if r.err == nil {
+			receipts[r.serial]++
+		}
+	}
+	for serial, got := range receipts {
+		if got > 1 {
+			t.Errorf("ballot %d: %d receipts issued for conflicting codes", serial, got)
+		}
+	}
+	// Certification agreement: every node that bound a ballot to a code must
+	// have bound it to the same code.
+	for b := 0; b < ballots; b++ {
+		serial := uint64(b + 1)
+		var seen []byte
+		for i, n := range c.nodes {
+			_, code := n.BallotStatus(serial)
+			if code == nil {
+				continue
+			}
+			if seen == nil {
+				seen = code
+			} else if !bytes.Equal(seen, code) {
+				t.Errorf("ballot %d: node %d certified a different code", serial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	inner := []Message{
+		&Endorse{Serial: 7, Code: []byte{1, 2, 3}},
+		&Endorsement{Serial: 9, Code: []byte{5}, Signer: 3, Sig: bytes.Repeat([]byte{7}, 64)},
+		&RecoverRequest{Serials: []uint64{1, 2, 3}},
+	}
+	m := &Batch{}
+	for _, im := range inner {
+		m.Frames = append(m.Frames, Encode(im))
+	}
+	got := roundTrip(t, m).(*Batch)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+	msgs, err := got.Unpack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(msgs, inner) {
+		t.Fatalf("unpacked %+v want %+v", msgs, inner)
+	}
+}
+
+func TestBatchEmptyRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Batch{}).(*Batch)
+	if len(got.Frames) != 0 {
+		t.Fatalf("got %d frames", len(got.Frames))
+	}
+}
+
+func TestBatchRejectsUnknownVersion(t *testing.T) {
+	frame := Encode(&Batch{Frames: [][]byte{Encode(&Endorse{Serial: 1, Code: []byte{1}})}})
+	frame[1] = BatchVersion + 1 // version byte follows the Kind byte
+	if _, err := Decode(frame); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestBatchRejectsNesting(t *testing.T) {
+	innerBatch := Encode(&Batch{Frames: [][]byte{Encode(&Endorse{Serial: 1, Code: []byte{1}})}})
+	frame := Encode(&Batch{Frames: [][]byte{innerBatch}})
+	if _, err := Decode(frame); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("nested batch accepted: %v", err)
+	}
+}
+
+func TestBatchRejectsEmptyFrame(t *testing.T) {
+	frame := Encode(&Batch{Frames: [][]byte{{}}})
+	if _, err := Decode(frame); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty inner frame accepted: %v", err)
+	}
+}
+
+func TestBatchRejectsTruncation(t *testing.T) {
+	frame := Encode(&Batch{Frames: [][]byte{
+		Encode(&Endorse{Serial: 1, Code: []byte{1, 2, 3, 4}}),
+	}})
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := Decode(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBatchUnpackRejectsGarbageFrame(t *testing.T) {
+	m := &Batch{Frames: [][]byte{{0xff, 0x01}}}
+	// Garbage kinds survive the envelope decode of a locally built batch but
+	// must fail Unpack.
+	if _, err := m.Unpack(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("garbage inner frame unpacked: %v", err)
+	}
+}
+
+func TestSplitBatch(t *testing.T) {
+	frames := [][]byte{
+		Encode(&Endorse{Serial: 1, Code: []byte{1}}),
+		Encode(&Endorse{Serial: 2, Code: []byte{2}}),
+	}
+	out, err := SplitBatch(Encode(&Batch{Frames: frames}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, frames) {
+		t.Fatalf("split %v want %v", out, frames)
+	}
+	if _, err := SplitBatch(frames[0]); err == nil {
+		t.Fatal("non-batch frame split")
+	}
+}
+
+func TestEncodeBatchSingletonPassthrough(t *testing.T) {
+	frame := Encode(&Endorse{Serial: 1, Code: []byte{9}})
+	if got := EncodeBatch([][]byte{frame}); !bytes.Equal(got, frame) {
+		t.Fatalf("singleton batch wrapped: %x", got)
+	}
+	if !IsBatchFrame(EncodeBatch([][]byte{frame, frame})) {
+		t.Fatal("multi-frame batch not wrapped")
+	}
+}

@@ -1,9 +1,12 @@
 // Package wire defines the binary message format exchanged between Vote
 // Collector nodes: the voting protocol messages of §III-E (ENDORSE,
 // ENDORSEMENT, VOTE_P), the vote-set-consensus messages (ANNOUNCE,
-// RECOVER-REQUEST, RECOVER-RESPONSE) and the batched binary-consensus
-// payloads. Encoding is hand-rolled: these messages are the hot path of the
-// system, mirroring the paper's use of protocol buffers over Netty.
+// RECOVER-REQUEST, RECOVER-RESPONSE), the batched binary-consensus
+// payloads, and the Batch envelope that coalesces many protocol messages
+// into one frame for the high-throughput transport pipeline (DESIGN.md,
+// "Batched message pipeline"). Encoding is hand-rolled: these messages are
+// the hot path of the system, mirroring the paper's use of protocol buffers
+// over Netty.
 //
 // Every frame is Kind (1 byte) || body. Deserialization is strict: trailing
 // bytes, truncation and oversized counts are errors.
@@ -27,6 +30,7 @@ const (
 	KindRecoverRequest
 	KindRecoverResponse
 	KindConsensus
+	KindBatch
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +50,8 @@ func (k Kind) String() string {
 		return "RECOVER-RESPONSE"
 	case KindConsensus:
 		return "CONSENSUS"
+	case KindBatch:
+		return "BATCH"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -93,6 +99,8 @@ func Decode(frame []byte) (Message, error) {
 		m = decodeRecoverResponse(r)
 	case KindConsensus:
 		m = decodeConsensus(r)
+	case KindBatch:
+		m = decodeBatch(r)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, frame[0])
 	}
