@@ -41,9 +41,19 @@ func NewReader(nodes []API) *Reader {
 
 // majority returns the first reply that gathers `need` matches.
 func majority[T any](r *Reader, fetch func(API) (T, error)) (T, error) {
+	return majorityBy(r, fetch, func(v T) any { return v })
+}
+
+// majorityBy is majority with a normalization hook: replies are compared by
+// canon(reply), so per-node provenance that honest replicas legitimately
+// disagree on (e.g. which trustee subset produced a Result) does not break
+// the vote. The returned value is one of the agreeing replies, provenance
+// intact.
+func majorityBy[T any](r *Reader, fetch func(API) (T, error), canon func(T) any) (T, error) {
 	var zero T
 	type bucket struct {
 		val   T
+		key   any
 		count int
 	}
 	var buckets []bucket
@@ -52,9 +62,10 @@ func majority[T any](r *Reader, fetch func(API) (T, error)) (T, error) {
 		if err != nil {
 			continue
 		}
+		key := canon(v)
 		matched := false
 		for i := range buckets {
-			if reflect.DeepEqual(buckets[i].val, v) {
+			if reflect.DeepEqual(buckets[i].key, key) {
 				buckets[i].count++
 				matched = true
 				if buckets[i].count >= r.need {
@@ -67,7 +78,7 @@ func majority[T any](r *Reader, fetch func(API) (T, error)) (T, error) {
 			if r.need == 1 {
 				return v, nil
 			}
-			buckets = append(buckets, bucket{val: v, count: 1})
+			buckets = append(buckets, bucket{val: v, key: key, count: 1})
 		}
 	}
 	return zero, ErrNoMajority
@@ -93,7 +104,20 @@ func (r *Reader) Cast() (*CastData, error) {
 	return majority(r, API.Cast)
 }
 
-// Result reads the final result by majority.
+// Result reads the final result by majority. Replies are compared without
+// the Trustees provenance field: honest nodes publish identical election
+// content (counts, openings, proofs reconstruct the same polynomials from
+// any honest share subset), but may have combined different trustee subsets
+// depending on post arrival order — a disagreement that says nothing about
+// correctness and, uncanonicalized, made the majority vote fail spuriously
+// (the full-pipeline flake fixed in PR 2).
 func (r *Reader) Result() (*Result, error) {
-	return majority(r, API.Result)
+	return majorityBy(r, API.Result, func(res *Result) any {
+		if res == nil {
+			return nil
+		}
+		c := *res
+		c.Trustees = nil
+		return &c
+	})
 }

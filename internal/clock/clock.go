@@ -5,6 +5,7 @@
 package clock
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -14,17 +15,55 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Timer is a pending callback scheduled through a Timers clock. Stop
+// reports whether it prevented the callback from firing.
+type Timer interface {
+	Stop() bool
+}
+
+// Timers is a Clock that can also schedule callbacks in its own time
+// domain: real timers on Real, virtual-time events on the simulator's
+// clock. Components with internal timeouts (Memnet delivery, Batcher flush
+// windows, election phases) schedule through this interface so a simulation
+// can own every timer in the system.
+type Timers interface {
+	Clock
+	// AfterFunc calls fn once the clock has advanced by d.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// AfterFunc schedules fn on c when c supports timers, and on the real
+// clock otherwise — the fallback for components handed a bare Clock.
+func AfterFunc(c Clock, d time.Duration, fn func()) Timer {
+	if t, ok := c.(Timers); ok {
+		return t.AfterFunc(d, fn)
+	}
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
 // Real reads the system clock.
 type Real struct{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
 
+// AfterFunc implements Timers with a real time.Timer.
+func (Real) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
 // Fake is a manually advanced clock for tests and simulations. The zero
-// value starts at the zero time; use NewFake to start elsewhere.
+// value starts at the zero time; use NewFake to start elsewhere. Timers
+// scheduled with AfterFunc fire synchronously inside the Advance or Set
+// call that crosses their deadline.
 type Fake struct {
-	mu  sync.Mutex
-	now time.Time
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
 }
 
 // NewFake returns a fake clock set to start.
@@ -39,16 +78,93 @@ func (f *Fake) Now() time.Time {
 	return f.now
 }
 
-// Advance moves the clock forward by d.
+// Advance moves the clock forward by d, firing any timers it crosses.
 func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.now = f.now.Add(d)
+	f.fireLocked()
 }
 
-// Set jumps the clock to t.
+// Set jumps the clock to t, firing any timers it crosses. Moving the clock
+// backwards does not un-fire timers.
 func (f *Fake) Set(t time.Time) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.now = t
+	f.fireLocked()
+}
+
+// AfterFunc implements Timers: fn runs once Advance or Set moves the clock
+// to or past now+d. A non-positive d fires fn immediately (synchronously).
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	if d <= 0 {
+		fn()
+		return (*fakeTimer)(nil)
+	}
+	f.mu.Lock()
+	ft := &fakeTimer{f: f, at: f.now.Add(d), fn: fn}
+	f.timers = append(f.timers, ft)
+	f.mu.Unlock()
+	return ft
+}
+
+// fireLocked pops and runs every due timer in deadline order. Callbacks run
+// outside the lock (via unlock) so they may schedule new timers; the lock is
+// NOT reacquired, so callers must treat fireLocked as consuming the lock.
+func (f *Fake) fireLocked() {
+	var due []*fakeTimer
+	keep := f.timers[:0]
+	for _, ft := range f.timers {
+		if ft.stopped {
+			continue // drop: a stopped timer must not accumulate
+		}
+		if !ft.at.After(f.now) {
+			ft.fired = true
+			due = append(due, ft)
+		} else {
+			keep = append(keep, ft)
+		}
+	}
+	for i := len(keep); i < len(f.timers); i++ {
+		f.timers[i] = nil
+	}
+	f.timers = keep
+	f.mu.Unlock()
+	// One Advance may cross several deadlines; fire them as virtual time
+	// would have, not in registration order.
+	sort.SliceStable(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, ft := range due {
+		ft.fn()
+	}
+}
+
+type fakeTimer struct {
+	f       *Fake
+	at      time.Time
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop implements Timer. The timer is unlinked immediately, so stopping
+// timers on a clock nobody advances does not accumulate dead entries.
+func (ft *fakeTimer) Stop() bool {
+	if ft == nil {
+		return false // already fired inline by a non-positive AfterFunc
+	}
+	ft.f.mu.Lock()
+	defer ft.f.mu.Unlock()
+	if ft.fired || ft.stopped {
+		return false
+	}
+	ft.stopped = true
+	for i, other := range ft.f.timers {
+		if other == ft {
+			last := len(ft.f.timers) - 1
+			ft.f.timers[i] = ft.f.timers[last]
+			ft.f.timers[last] = nil
+			ft.f.timers = ft.f.timers[:last]
+			break
+		}
+	}
+	return true
 }

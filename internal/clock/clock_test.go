@@ -31,6 +31,101 @@ func TestFakeClock(t *testing.T) {
 	}
 }
 
+func TestFakeTimers(t *testing.T) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	var fired []string
+	f.AfterFunc(time.Minute, func() { fired = append(fired, "1m") })
+	f.AfterFunc(time.Hour, func() { fired = append(fired, "1h") })
+	stopme := f.AfterFunc(30*time.Minute, func() { fired = append(fired, "30m") })
+
+	f.Advance(time.Second)
+	if len(fired) != 0 {
+		t.Fatalf("timers fired early: %v", fired)
+	}
+	if !stopme.Stop() {
+		t.Fatal("Stop on a pending timer must report true")
+	}
+	if stopme.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	f.Advance(time.Minute)
+	if len(fired) != 1 || fired[0] != "1m" {
+		t.Fatalf("after 1m: fired = %v", fired)
+	}
+	f.Set(start.Add(2 * time.Hour))
+	if len(fired) != 2 || fired[1] != "1h" {
+		t.Fatalf("after jump: fired = %v (stopped timer must not fire)", fired)
+	}
+}
+
+func TestFakeTimersFireInDeadlineOrder(t *testing.T) {
+	// One Advance crossing several deadlines must fire them as virtual
+	// time would have, regardless of registration order.
+	f := NewFake(time.Unix(0, 0))
+	var order []string
+	f.AfterFunc(2*time.Minute, func() { order = append(order, "late") })
+	f.AfterFunc(time.Minute, func() { order = append(order, "early") })
+	f.Advance(time.Hour)
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("fired in order %v, want [early late]", order)
+	}
+}
+
+func TestFakeTimerImmediateAndReschedule(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	ran := false
+	tm := f.AfterFunc(0, func() { ran = true })
+	if !ran {
+		t.Fatal("non-positive AfterFunc must fire inline")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after inline fire must report false")
+	}
+	// A callback may schedule a follow-up timer (periodic probes do this).
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 3 {
+			f.AfterFunc(time.Second, hop)
+		}
+	}
+	f.AfterFunc(time.Second, hop)
+	for i := 0; i < 5; i++ {
+		f.Advance(time.Second)
+	}
+	if hops != 3 {
+		t.Fatalf("chained timer ran %d times, want 3", hops)
+	}
+}
+
+func TestAfterFuncFallsBackToRealClock(t *testing.T) {
+	// A bare Clock without timer support schedules on the real clock.
+	done := make(chan struct{})
+	tm := AfterFunc(bareClock{}, time.Microsecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fallback real timer never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire must report false")
+	}
+	// And a Timers implementation is used directly.
+	f := NewFake(time.Unix(0, 0))
+	ran := false
+	AfterFunc(f, time.Second, func() { ran = true })
+	f.Advance(2 * time.Second)
+	if !ran {
+		t.Fatal("AfterFunc did not route to the fake clock")
+	}
+}
+
+type bareClock struct{}
+
+func (bareClock) Now() time.Time { return time.Now() }
+
 func TestFakeClockConcurrentAccess(t *testing.T) {
 	f := NewFake(time.Unix(0, 0))
 	done := make(chan struct{})

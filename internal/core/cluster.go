@@ -22,6 +22,7 @@ import (
 	"ddemos/internal/clock"
 	"ddemos/internal/consensus"
 	"ddemos/internal/ea"
+	"ddemos/internal/sim"
 	"ddemos/internal/store"
 	"ddemos/internal/transport"
 	"ddemos/internal/trustee"
@@ -30,13 +31,21 @@ import (
 
 // Options configures cluster construction.
 type Options struct {
-	// Network defaults to a fresh LAN-profile Memnet.
+	// Sim, when set, runs the whole cluster in the driver's virtual time:
+	// the Memnet delivers on the driver's event queue, batch-flush windows
+	// are driver events, and the election clock is the driver's. The
+	// caller runs the driver (sim.Driver.Spin or Elapse) alongside the
+	// test; ClosePolls jumps the driver clock past the voting end.
+	Sim *sim.Driver
+	// Network defaults to a fresh LAN-profile Memnet (on the Sim driver's
+	// timers when Sim is set).
 	Network *transport.Memnet
 	// LinkProfile overrides the default profile of a fresh network
 	// (ignored when Network is provided).
 	LinkProfile *transport.LinkProfile
-	// Clock defaults to a fake clock set inside the voting window, letting
-	// the caller drive phases; pass clock.Real{} for wall-clock elections.
+	// Clock defaults to the Sim driver's clock when Sim is set, otherwise
+	// to a fake clock set inside the voting window, letting the caller
+	// drive phases; pass clock.Real{} for wall-clock elections.
 	Clock clock.Clock
 	// Authenticated wraps inter-VC channels with Ed25519 signing (the
 	// paper's authenticated channels). Costs one sign+verify per message —
@@ -74,6 +83,7 @@ type Cluster struct {
 	Reader   *bb.Reader
 
 	fake *clock.Fake
+	sim  *sim.Driver
 
 	// PhaseDurations records the measured wall time of each completed
 	// phase, keyed by phase name (Fig. 5c).
@@ -98,19 +108,28 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 		Data:           data,
 		PhaseDurations: make(map[string]time.Duration),
 	}
+	c.sim = opts.Sim
 	c.Net = opts.Network
 	if c.Net == nil {
 		lp := transport.LANProfile
 		if opts.LinkProfile != nil {
 			lp = *opts.LinkProfile
 		}
-		c.Net = transport.NewMemnet(lp)
+		if c.sim != nil {
+			c.Net = transport.NewMemnetWithTimers(lp, c.sim)
+		} else {
+			c.Net = transport.NewMemnet(lp)
+		}
 	}
 	c.Clock = opts.Clock
 	if c.Clock == nil {
-		fake := clock.NewFake(data.Manifest.VotingStart.Add(time.Minute))
-		c.Clock = fake
-		c.fake = fake
+		if c.sim != nil {
+			c.Clock = c.sim
+		} else {
+			fake := clock.NewFake(data.Manifest.VotingStart.Add(time.Minute))
+			c.Clock = fake
+			c.fake = fake
+		}
 	} else if f, ok := c.Clock.(*clock.Fake); ok {
 		c.fake = f
 	}
@@ -130,10 +149,14 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 			ep = transport.NewSigned(ep, data.VC[i].Private, pubs)
 		}
 		if opts.BatchWindow > 0 {
-			ep = transport.NewBatcher(ep, transport.BatcherOptions{
+			bopts := transport.BatcherOptions{
 				Window:      opts.BatchWindow,
 				MaxMessages: opts.BatchMaxMessages,
-			})
+			}
+			if c.sim != nil {
+				bopts.Timers = c.sim
+			}
+			ep = transport.NewBatcher(ep, bopts)
 		}
 		node, err := vc.New(vc.Config{
 			Init:      data.VC[i],
@@ -198,11 +221,28 @@ func (c *Cluster) RestoreVC(index int) {
 	c.Net.Isolate(transport.NodeID(index), false) //nolint:gosec // <=64
 }
 
-// ClosePolls advances the fake clock past the election end (no-op with a
-// real clock — callers then wait for the real end time).
+// Crash implements sim.Surface (scenario-driven fault schedules).
+func (c *Cluster) Crash(index int) { c.CrashVC(index) }
+
+// Restore implements sim.Surface.
+func (c *Cluster) Restore(index int) { c.RestoreVC(index) }
+
+// Partition implements sim.Surface: block (or heal) traffic between two VC
+// nodes.
+func (c *Cluster) Partition(a, b int, on bool) {
+	c.Net.Partition(transport.NodeID(a), transport.NodeID(b), on) //nolint:gosec // <=64
+}
+
+// ClosePolls advances the election clock past the voting end: the sim
+// driver's clock in virtual-time runs, the fake clock otherwise (no-op with
+// a real clock — callers then wait for the real end time).
 func (c *Cluster) ClosePolls() {
-	if c.fake != nil {
-		c.fake.Set(c.Data.Manifest.VotingEnd.Add(time.Second))
+	end := c.Data.Manifest.VotingEnd.Add(time.Second)
+	switch {
+	case c.sim != nil:
+		c.sim.JumpTo(end)
+	case c.fake != nil:
+		c.fake.Set(end)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"ddemos/internal/ballot"
 	"ddemos/internal/bb"
 	"ddemos/internal/ea"
+	"ddemos/internal/sim"
 	"ddemos/internal/trustee"
 	"ddemos/internal/vc"
 	"ddemos/internal/voter"
@@ -353,12 +354,17 @@ func TestLivenessPatientVoterBlacklistsCrashedNodes(t *testing.T) {
 }
 
 func TestMajorityReaderDefeatsLyingBB(t *testing.T) {
+	// Runs on the sim harness: inter-VC latency is virtual-time events, so
+	// the test cannot flake on wall-clock timer scheduling under load.
 	data := testData(t, 3)
-	c, err := NewCluster(data, Options{LyingBB: map[int]bool{1: true}})
+	drv := sim.New(sim.Config{Start: data.Manifest.VotingStart.Add(time.Minute)})
+	c, err := NewCluster(data, Options{Sim: drv, LyingBB: map[int]bool{1: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Stop()
+	stop := drv.Spin()
+	defer stop()
 	castAll(t, c, []int{0, 0, 1})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()

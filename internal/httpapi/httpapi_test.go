@@ -11,6 +11,7 @@ import (
 	"ddemos/internal/bb"
 	"ddemos/internal/core"
 	"ddemos/internal/ea"
+	"ddemos/internal/sim"
 	"ddemos/internal/trustee"
 	"ddemos/internal/voter"
 )
@@ -18,7 +19,9 @@ import (
 // TestHTTPDeploymentEndToEnd runs a full election where voters, the vote-set
 // push, the trustees and the auditor all go through the HTTP layer — the
 // exact plumbing the cmd/ tools use (inter-VC stays on the simulated
-// network; cmd/ddemos-vc swaps in TCP, which transport tests cover).
+// network; cmd/ddemos-vc swaps in TCP, which transport tests cover). The
+// inter-VC network runs on the sim harness so delivery timing cannot flake
+// under parallel test load.
 func TestHTTPDeploymentEndToEnd(t *testing.T) {
 	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
 	data, err := ea.Setup(ea.Params{
@@ -35,11 +38,14 @@ func TestHTTPDeploymentEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster, err := core.NewCluster(data, core.Options{})
+	drv := sim.New(sim.Config{Start: start.Add(time.Minute)})
+	cluster, err := core.NewCluster(data, core.Options{Sim: drv})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cluster.Stop()
+	stopSim := drv.Spin()
+	defer stopSim()
 
 	// VC nodes behind HTTP.
 	var services []voter.Service

@@ -1,0 +1,487 @@
+// Package sim is a discrete-event simulation harness for the election
+// stack. A Driver owns a virtual clock and an ordered event queue; Memnet
+// delivery delays, Batcher flush windows and election-phase boundaries all
+// become events on that queue, so an entire election — LAN or WAN latency,
+// jitter, batching, fault schedules — runs in simulated time: a 25 ms WAN
+// hop costs no wall-clock sleep, and a two-hour voting window collapses to
+// however long the CPU work inside it takes.
+//
+// The paper's liveness and safety arguments (§III-C, §IV) quantify over
+// adversarial schedules; this package makes those schedules first-class test
+// inputs. A Scenario (scenario.go) is a seed-reproducible schedule of faults
+// over election time plus continuously-evaluated invariant probes, and the
+// Driver records a trace of every labeled event it executes, so a failing
+// schedule is replayable from its seed alone.
+//
+// Concurrency model: nodes keep their real goroutines (pumps, worker pools,
+// blocked voters); only time is virtual. The Driver executes events from a
+// single goroutine and, before advancing the clock, waits for the system to
+// settle (no new events being scheduled), so in-flight reactions to one
+// event land before the clock jumps to the next. Event order on the queue —
+// and therefore the labeled trace — is deterministic: events fire ordered by
+// (virtual time, schedule order). Node-internal goroutine interleaving
+// remains the scheduler's business, exactly as on a real network.
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddemos/internal/clock"
+)
+
+// DefaultStart is the virtual epoch used when Config.Start is zero: a date
+// comfortably inside the test elections' voting windows.
+var DefaultStart = time.Date(2026, 6, 10, 8, 1, 0, 0, time.UTC)
+
+// Config tunes a Driver. The zero value is usable. The Driver itself is
+// randomness-free: scenario generation (sim.RandomScenario) and network
+// fault draws (transport.Memnet.Reseed) carry the seeds.
+type Config struct {
+	// Start is the initial virtual time (default DefaultStart).
+	Start time.Time
+	// MicroJump is the advance distance below which the clock moves with
+	// no quiescence wait at all (default 1ms of virtual time): skipping a
+	// few hundred microseconds of virtual latency only delays a reaction's
+	// timestamp by the same few hundred microseconds, and jitter-spread
+	// deliveries advance in these micro-hops thousands of times per run.
+	MicroJump time.Duration
+	// QuickSettle is the poll interval used to detect quiescence before
+	// short clock advances (default 20µs).
+	QuickSettle time.Duration
+	// StrongSettle is the poll interval before long jumps — timeouts,
+	// phase boundaries, scenario faults — where mistaking mid-flight work
+	// for quiescence would skip protocol steps (default 200µs).
+	StrongSettle time.Duration
+	// LongJump is the advance distance beyond which the strong settle is
+	// used (default 10ms of virtual time: protocol rounds and fault
+	// schedules advance in sub-10ms hops, timeouts and phase boundaries in
+	// seconds).
+	LongJump time.Duration
+}
+
+// TraceEvent is one executed labeled event. At is the scheduled virtual
+// offset from the driver's start; ExecAt is the virtual clock when the
+// event actually ran (later than At only when a JumpTo overshot it — a
+// fault firing after the polls closed, say). Seq records schedule order
+// for debugging; the trace hash covers (At, ExecAt, Label) in execution
+// order.
+type TraceEvent struct {
+	Seq    uint64
+	At     time.Duration
+	ExecAt time.Duration
+	Label  string
+}
+
+// Driver is the discrete-event scheduler. It implements clock.Timers, so it
+// plugs directly into every component that takes an injectable clock.
+type Driver struct {
+	start        time.Time
+	microJump    time.Duration
+	quickSettle  time.Duration
+	strongSettle time.Duration
+	longJump     time.Duration
+
+	mu    sync.Mutex
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	trace []TraceEvent
+
+	// activity counts scheduling actions; the settle loop watches it to
+	// decide when in-flight reactions have landed.
+	activity atomic.Uint64
+	wake     chan struct{}
+
+	// runMu serializes event execution: either a Spin loop or an Elapse
+	// caller owns it, never both.
+	runMu sync.Mutex
+}
+
+var _ clock.Timers = (*Driver)(nil)
+
+// New builds a Driver.
+func New(cfg Config) *Driver {
+	if cfg.Start.IsZero() {
+		cfg.Start = DefaultStart
+	}
+	if cfg.MicroJump <= 0 {
+		cfg.MicroJump = time.Millisecond
+	}
+	if cfg.QuickSettle <= 0 {
+		cfg.QuickSettle = 20 * time.Microsecond
+	}
+	if cfg.StrongSettle <= 0 {
+		cfg.StrongSettle = 200 * time.Microsecond
+	}
+	if cfg.LongJump <= 0 {
+		cfg.LongJump = 10 * time.Millisecond
+	}
+	return &Driver{
+		start:        cfg.Start,
+		microJump:    cfg.MicroJump,
+		quickSettle:  cfg.QuickSettle,
+		strongSettle: cfg.StrongSettle,
+		longJump:     cfg.LongJump,
+		now:          cfg.Start,
+		wake:         make(chan struct{}, 1),
+	}
+}
+
+// Now implements clock.Clock: the current virtual time.
+func (d *Driver) Now() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.now
+}
+
+// Elapsed is the virtual time since the driver started.
+func (d *Driver) Elapsed() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.now.Sub(d.start)
+}
+
+// AfterFunc implements clock.Timers: fn runs as an (unlabeled, untraced)
+// event once the virtual clock reaches now+dur.
+func (d *Driver) AfterFunc(dur time.Duration, fn func()) clock.Timer {
+	return d.schedule(dur, "", fn)
+}
+
+// Schedule queues a labeled event at now+dur. Labeled events are recorded
+// in the trace when they execute — scenario faults and probes use this so
+// the same seed provably produces the same schedule.
+func (d *Driver) Schedule(dur time.Duration, label string, fn func()) clock.Timer {
+	return d.schedule(dur, label, fn)
+}
+
+func (d *Driver) schedule(dur time.Duration, label string, fn func()) *event {
+	if dur < 0 {
+		dur = 0
+	}
+	d.mu.Lock()
+	ev := &event{d: d, at: d.now.Add(dur), seq: d.seq, label: label, fn: fn}
+	d.seq++
+	heap.Push(&d.queue, ev)
+	d.mu.Unlock()
+	d.bump()
+	return ev
+}
+
+// bump notes scheduling activity and wakes an idle run loop.
+func (d *Driver) bump() {
+	d.activity.Add(1)
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// JumpTo moves the virtual clock forward to t (never backward): the
+// simulation analogue of clock.Fake.Set, used to close the polls. Events
+// scheduled before t still execute — late, like messages in flight when a
+// real deadline passes.
+func (d *Driver) JumpTo(t time.Time) {
+	d.mu.Lock()
+	if t.After(d.now) {
+		d.now = t
+	}
+	d.mu.Unlock()
+	d.bump()
+}
+
+// Spin starts a background loop that executes events as they become due,
+// advancing the virtual clock whenever the system is quiescent — the mode
+// used while concurrent test goroutines (voters, consensus phases) interact
+// with the cluster. The returned stop function halts the loop and waits for
+// it to exit.
+func (d *Driver) Spin() (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.runMu.Lock()
+		defer d.runMu.Unlock()
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			if d.step(maxTime) {
+				continue
+			}
+			// Queue drained and system settled: sleep until new work.
+			select {
+			case <-stopCh:
+				return
+			case <-d.wake:
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		d.bump() // unblock a loop waiting on wake
+		<-done
+	}
+}
+
+// Elapse synchronously advances the virtual clock by dur, executing every
+// event that falls due on the way — the mode for step-by-step unit tests
+// (flush windows, timer expiry). Must not be called while a Spin loop runs.
+func (d *Driver) Elapse(dur time.Duration) {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	// Let whatever the caller just set in motion land first, so Elapse(0)
+	// is a true settle point even though micro-jumps skip the wait.
+	d.settle(false)
+	d.mu.Lock()
+	target := d.now.Add(dur)
+	d.mu.Unlock()
+	for d.step(target) {
+	}
+	d.mu.Lock()
+	if target.After(d.now) {
+		d.now = target
+	}
+	d.mu.Unlock()
+}
+
+// Settle blocks until the system is quiescent at the current virtual time:
+// all due events executed and no new ones being scheduled. Must not be
+// called while a Spin loop runs.
+func (d *Driver) Settle() { d.Elapse(0) }
+
+// maxTime is "no limit" for step.
+var maxTime = time.Unix(1<<62-1, 0)
+
+// step executes the next event due at or before limit, advancing the clock
+// if needed once the system settles. Returns false when no such event
+// exists (after settling, so a reaction in flight gets to schedule one).
+func (d *Driver) step(limit time.Time) bool {
+	if ev, ok := d.popDue(limit, false); ok {
+		d.exec(ev)
+		return true
+	}
+	// Nothing due at the current clock: wait for in-flight reactions to
+	// land, then advance to the next event. How carefully to wait depends
+	// on how far the clock would jump — a long jump that outruns a
+	// mid-verification worker would fire timeouts that should have lost
+	// the race, so long jumps settle harder; micro-jumps (jitter-spread
+	// deliveries) skip the wait entirely, since being outrun only shifts a
+	// reaction's timestamp by the same few hundred microseconds.
+	if jump := d.jumpAfter(limit); jump > d.microJump {
+		d.settle(jump > d.longJump)
+	}
+	ev, ok := d.popDue(limit, true)
+	if !ok {
+		return false
+	}
+	d.exec(ev)
+	return true
+}
+
+// jumpAfter reports how far the clock would advance to reach the next
+// event (or limit when the queue is empty).
+func (d *Driver) jumpAfter(limit time.Time) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropStoppedLocked()
+	if len(d.queue) > 0 && d.queue[0].at.Before(limit) {
+		return d.queue[0].at.Sub(d.now)
+	}
+	if limit == maxTime {
+		return 0 // empty queue, no limit: nothing to jump to
+	}
+	return limit.Sub(d.now)
+}
+
+// popDue pops the next runnable event with at <= now, or — when advance is
+// set — jumps the clock to the next event within limit and pops it.
+func (d *Driver) popDue(limit time.Time, advance bool) (*event, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropStoppedLocked()
+	if len(d.queue) == 0 {
+		return nil, false
+	}
+	ev := d.queue[0]
+	if ev.at.After(d.now) {
+		if !advance || ev.at.After(limit) {
+			return nil, false
+		}
+		d.now = ev.at
+	}
+	heap.Pop(&d.queue)
+	ev.fired = true
+	if ev.label != "" {
+		d.trace = append(d.trace, TraceEvent{
+			Seq: ev.seq, At: ev.at.Sub(d.start), ExecAt: d.now.Sub(d.start), Label: ev.label,
+		})
+	}
+	return ev, true
+}
+
+// dropStoppedLocked discards cancelled events sitting at the queue head.
+func (d *Driver) dropStoppedLocked() {
+	for len(d.queue) > 0 && d.queue[0].stopped {
+		heap.Pop(&d.queue)
+	}
+}
+
+// exec runs one event's callback outside all driver locks.
+func (d *Driver) exec(ev *event) { ev.fn() }
+
+// settle waits until the activity counter holds still: the moment when
+// everything the last events set in motion has scheduled its follow-ups.
+func (d *Driver) settle(strong bool) {
+	poll, need := d.quickSettle, 2
+	if strong {
+		// A long jump that wins a race against a descheduled goroutine
+		// would fire a timeout that should have lost, so demand stability
+		// across a ~2ms window before jumping far.
+		poll, need = d.strongSettle, 8
+	}
+	last := d.activity.Load()
+	stable := 0
+	for stable < need {
+		for i := 0; i < 16; i++ {
+			runtime.Gosched()
+		}
+		time.Sleep(poll)
+		cur := d.activity.Load()
+		if cur == last {
+			stable++
+		} else {
+			last, stable = cur, 0
+		}
+	}
+}
+
+// WithTimeout derives a context cancelled at virtual time now+dur — the
+// sim-path replacement for context.WithTimeout, so a starved protocol run
+// ends when the simulation reaches its deadline, not after a wall-clock
+// sleep. Like the real thing, Err reports context.DeadlineExceeded when
+// the (virtual) deadline fires, and Deadline reports the virtual deadline.
+func (d *Driver) WithTimeout(parent context.Context, dur time.Duration) (context.Context, context.CancelFunc) {
+	inner, cancel := context.WithCancelCause(parent)
+	tm := d.schedule(dur, "", func() { cancel(context.DeadlineExceeded) })
+	// Report the scheduled event's own time (a racing Spin loop may have
+	// advanced the clock between entry and scheduling), floored by an
+	// earlier parent deadline, matching context.WithTimeout's contract.
+	deadline := tm.at
+	if pd, ok := parent.Deadline(); ok && pd.Before(deadline) {
+		deadline = pd
+	}
+	ctx := virtualDeadlineCtx{Context: inner, deadline: deadline}
+	return ctx, func() {
+		tm.Stop()
+		cancel(context.Canceled)
+	}
+}
+
+// virtualDeadlineCtx makes a cause-cancelled context look like a deadline
+// context: ctx.Err() is context.DeadlineExceeded when the virtual deadline
+// event fired, so sim-path timeouts wrap into the same errors as real ones.
+type virtualDeadlineCtx struct {
+	context.Context
+	deadline time.Time
+}
+
+// Deadline reports the virtual deadline (on the driver's timeline).
+func (c virtualDeadlineCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+// Err translates a deadline-caused cancellation back to DeadlineExceeded.
+func (c virtualDeadlineCtx) Err() error {
+	err := c.Context.Err()
+	if err != nil && context.Cause(c.Context) == context.DeadlineExceeded {
+		return context.DeadlineExceeded
+	}
+	return err
+}
+
+// Trace returns a copy of the labeled events executed so far.
+func (d *Driver) Trace() []TraceEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]TraceEvent, len(d.trace))
+	copy(out, d.trace)
+	return out
+}
+
+// TraceHash digests the labeled event trace — (scheduled offset, executed
+// offset, label) in execution order. Two runs of the same seeded scenario
+// produce the same hash; a mismatch means the executed schedule itself
+// diverged (different faults, a different order, or faults fired at
+// different virtual times). Unlabeled events (message deliveries, probe
+// ticks) are deliberately excluded: their interleaving reflects real
+// goroutine scheduling, which the harness does not promise to replay —
+// only the fault schedule and its timing are the replayable contract.
+func (d *Driver) TraceHash() [32]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := sha256.New()
+	var buf [8]byte
+	for _, te := range d.trace {
+		binary.BigEndian.PutUint64(buf[:], uint64(te.At)) //nolint:gosec // offset >= 0
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(te.ExecAt)) //nolint:gosec // offset >= 0
+		h.Write(buf[:])
+		h.Write([]byte(te.Label))
+		h.Write([]byte{0})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// event is one queue entry, ordered by (at, seq). It implements clock.Timer
+// so AfterFunc callers can cancel it. stopped and fired are guarded by the
+// owning driver's mu.
+type event struct {
+	d       *Driver
+	at      time.Time
+	seq     uint64
+	label   string
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop implements clock.Timer. The event stays queued but is skipped.
+func (ev *event) Stop() bool {
+	ev.d.mu.Lock()
+	defer ev.d.mu.Unlock()
+	if ev.fired || ev.stopped {
+		return false
+	}
+	ev.stopped = true
+	return true
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestElapseRunsEventsInVirtualOrder(t *testing.T) {
+	d := New(Config{})
+	var order []string
+	d.AfterFunc(3*time.Millisecond, func() { order = append(order, "c") })
+	d.AfterFunc(time.Millisecond, func() { order = append(order, "a") })
+	d.AfterFunc(2*time.Millisecond, func() { order = append(order, "b") })
+	// Same-time events run in schedule order.
+	d.AfterFunc(2*time.Millisecond, func() { order = append(order, "b2") })
+	start := d.Now()
+	d.Elapse(10 * time.Millisecond)
+	if got := d.Now().Sub(start); got != 10*time.Millisecond {
+		t.Fatalf("clock advanced %v, want 10ms", got)
+	}
+	want := []string{"a", "b", "b2", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestElapseStopsAtLimit(t *testing.T) {
+	d := New(Config{})
+	fired := false
+	d.AfterFunc(time.Hour, func() { fired = true })
+	d.Elapse(time.Minute)
+	if fired {
+		t.Fatal("event beyond the elapse window fired")
+	}
+	d.Elapse(time.Hour)
+	if !fired {
+		t.Fatal("event within the elapse window did not fire")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	d := New(Config{})
+	fired := false
+	tm := d.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending event must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("double Stop must report false")
+	}
+	d.Elapse(time.Second)
+	if fired {
+		t.Fatal("stopped event fired")
+	}
+}
+
+func TestEventsScheduleFollowUps(t *testing.T) {
+	// An event scheduling another event (message → reply → reply...) is the
+	// core simulation pattern; chains must run within one Elapse.
+	d := New(Config{})
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 5 {
+			d.AfterFunc(time.Millisecond, hop)
+		}
+	}
+	d.AfterFunc(time.Millisecond, hop)
+	d.Elapse(10 * time.Millisecond)
+	if hops != 5 {
+		t.Fatalf("chain ran %d hops, want 5", hops)
+	}
+}
+
+func TestSpinDrivesCrossGoroutineWork(t *testing.T) {
+	// A blocked "voter" goroutine waits for a reply that only materializes
+	// through two virtual-latency hops; the spin loop must advance the clock
+	// and deliver it without any wall-clock sleeps proportional to latency.
+	d := New(Config{})
+	stop := d.Spin()
+	defer stop()
+
+	reply := make(chan time.Time, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Request takes 25ms (virtual WAN hop), response another 25ms.
+		d.AfterFunc(25*time.Millisecond, func() {
+			d.AfterFunc(25*time.Millisecond, func() { reply <- d.Now() })
+		})
+	}()
+	wg.Wait()
+	select {
+	case at := <-reply:
+		if got := at.Sub(DefaultStart); got != 50*time.Millisecond {
+			t.Fatalf("reply at +%v, want +50ms", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("spin loop never delivered the reply")
+	}
+}
+
+func TestWithTimeoutFiresAtVirtualDeadline(t *testing.T) {
+	d := New(Config{})
+	stop := d.Spin()
+	defer stop()
+
+	ctx, cancel := d.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("virtual deadline never fired (10s wall-clock)")
+	}
+	if context.Cause(ctx) != context.DeadlineExceeded {
+		t.Fatalf("cause = %v, want DeadlineExceeded", context.Cause(ctx))
+	}
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Fatalf("Err() = %v, want DeadlineExceeded (same contract as context.WithTimeout)", err)
+	}
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(DefaultStart.Add(5*time.Second)) {
+		t.Fatalf("Deadline() = %v, %v; want the virtual deadline", dl, ok)
+	}
+	if d.Now().Sub(DefaultStart) < 5*time.Second {
+		t.Fatalf("clock at +%v, deadline was +5s", d.Now().Sub(DefaultStart))
+	}
+
+	// Cancelling first stops the deadline event.
+	ctx2, cancel2 := d.WithTimeout(context.Background(), time.Hour)
+	cancel2()
+	<-ctx2.Done()
+	if context.Cause(ctx2) != context.Canceled {
+		t.Fatalf("cause = %v, want Canceled", context.Cause(ctx2))
+	}
+	if err := ctx2.Err(); err != context.Canceled {
+		t.Fatalf("Err() = %v, want Canceled", err)
+	}
+}
+
+func TestJumpToMovesOnlyForward(t *testing.T) {
+	d := New(Config{})
+	end := DefaultStart.Add(2 * time.Hour)
+	d.JumpTo(end)
+	if !d.Now().Equal(end) {
+		t.Fatalf("JumpTo did not move the clock: %v", d.Now())
+	}
+	d.JumpTo(DefaultStart)
+	if !d.Now().Equal(end) {
+		t.Fatal("JumpTo moved the clock backwards")
+	}
+	// Events stranded before the jump still execute on the next step.
+	fired := false
+	d.mu.Lock()
+	d.queue = append(d.queue, &event{d: d, at: DefaultStart.Add(time.Minute), fn: func() { fired = true }})
+	d.mu.Unlock()
+	d.Settle()
+	if !fired {
+		t.Fatal("pre-jump event never executed")
+	}
+}
+
+func TestTraceRecordsLabeledEventsOnly(t *testing.T) {
+	d := New(Config{})
+	d.AfterFunc(time.Millisecond, func() {})                   // unlabeled: untraced
+	d.Schedule(2*time.Millisecond, "fault:crash:1", func() {}) // labeled
+	d.Schedule(3*time.Millisecond, "fault:restore:1", func() {})
+	d.Elapse(5 * time.Millisecond)
+	tr := d.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace has %d events, want 2: %v", len(tr), tr)
+	}
+	if tr[0].Label != "fault:crash:1" || tr[0].At != 2*time.Millisecond {
+		t.Fatalf("trace[0] = %+v", tr[0])
+	}
+	if tr[1].Label != "fault:restore:1" || tr[1].At != 3*time.Millisecond {
+		t.Fatalf("trace[1] = %+v", tr[1])
+	}
+	if d.TraceHash() == (New(Config{})).TraceHash() {
+		t.Fatal("non-empty trace hashes equal to empty trace")
+	}
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Surface is the fault-injection surface a Scenario drives. core.Cluster
+// implements it for full elections; test harnesses implement it for
+// subsystem-level clusters. Node indices are the cluster's own.
+type Surface interface {
+	// Crash makes node i unreachable (all traffic dropped).
+	Crash(i int)
+	// Restore reconnects a crashed node.
+	Restore(i int)
+	// Partition blocks (on) or heals (off) traffic between a and b.
+	Partition(a, b int, on bool)
+}
+
+// FaultKind is one scheduled fault type.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultCrash isolates a node.
+	FaultCrash FaultKind = iota
+	// FaultRestore reconnects a node crashed earlier in the schedule.
+	FaultRestore
+	// FaultPartitionForm blocks traffic between two nodes.
+	FaultPartitionForm
+	// FaultPartitionHeal restores traffic between two nodes.
+	FaultPartitionHeal
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRestore:
+		return "restore"
+	case FaultPartitionForm:
+		return "partition"
+	case FaultPartitionHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// Fault is one scheduled fault: Kind applied to node A (and B for
+// partitions) at virtual offset At from scenario install.
+type Fault struct {
+	At   time.Duration
+	Kind FaultKind
+	A, B int
+}
+
+// Label is the fault's trace label.
+func (f Fault) Label() string {
+	switch f.Kind {
+	case FaultPartitionForm, FaultPartitionHeal:
+		return fmt.Sprintf("fault:%s:%d-%d", f.Kind, f.A, f.B)
+	default:
+		return fmt.Sprintf("fault:%s:%d", f.Kind, f.A)
+	}
+}
+
+// ScenarioConfig bounds random scenario generation.
+type ScenarioConfig struct {
+	// NumNodes is the cluster size faults are drawn over.
+	NumNodes int
+	// Byzantine reserves this many node seats as Byzantine — the paper's
+	// threshold is fv = ⌈Nv/3⌉−1. The scenario only picks which nodes;
+	// the harness decides the behaviour (Equivocator, ShareCorruptor, …).
+	Byzantine int
+	// Duration is the window faults are scheduled within (default 40ms of
+	// virtual time — long against LAN latencies, instant on the wall).
+	Duration time.Duration
+	// MaxCrashWindows bounds crash/restore pairs (default 2; negative
+	// disables crash windows entirely).
+	MaxCrashWindows int
+	// MaxPartitions bounds partition form/heal pairs (default 2; negative
+	// disables partitions entirely).
+	MaxPartitions int
+}
+
+func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 40 * time.Millisecond
+	}
+	switch {
+	case cfg.MaxCrashWindows == 0:
+		cfg.MaxCrashWindows = 2
+	case cfg.MaxCrashWindows < 0:
+		cfg.MaxCrashWindows = 0
+	}
+	switch {
+	case cfg.MaxPartitions == 0:
+		cfg.MaxPartitions = 2
+	case cfg.MaxPartitions < 0:
+		cfg.MaxPartitions = 0
+	}
+	return cfg
+}
+
+// Scenario is a declarative, seed-reproducible schedule of faults over
+// election time. The same (seed, config) always yields the same scenario;
+// Install schedules its faults as labeled (traced) events, so a failing run
+// is replayed by rebuilding the scenario from the logged seed.
+type Scenario struct {
+	Seed      uint64
+	NumNodes  int
+	Byzantine []int // node indices reserved for Byzantine behaviour
+	WAN       bool  // suggests the WAN link profile to the harness
+	Duration  time.Duration
+	Faults    []Fault
+}
+
+// RandomScenario derives a scenario deterministically from seed.
+func RandomScenario(seed uint64, cfg ScenarioConfig) Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(seed, 0xD0DE)) //nolint:gosec // simulation only
+	s := Scenario{
+		Seed:     seed,
+		NumNodes: cfg.NumNodes,
+		WAN:      rng.IntN(4) == 0,
+		Duration: cfg.Duration,
+	}
+	if cfg.Byzantine > 0 && cfg.NumNodes > 0 {
+		perm := rng.Perm(cfg.NumNodes)
+		s.Byzantine = append(s.Byzantine, perm[:min(cfg.Byzantine, cfg.NumNodes)]...)
+		sort.Ints(s.Byzantine)
+	}
+	window := func() (from, to time.Duration) {
+		a := time.Duration(rng.Int64N(int64(cfg.Duration)))
+		b := time.Duration(rng.Int64N(int64(cfg.Duration)))
+		if a > b {
+			a, b = b, a
+		}
+		return a, b
+	}
+	// Crash windows target distinct nodes and partition windows distinct
+	// pairs: Surface.Crash/Partition are boolean levers with no nesting
+	// count, so two overlapping windows on the same target would let the
+	// inner window's heal cut the outer one short.
+	if cfg.NumNodes >= 1 {
+		n := min(rng.IntN(cfg.MaxCrashWindows+1), cfg.NumNodes)
+		perm := rng.Perm(cfg.NumNodes)
+		for i := 0; i < n; i++ {
+			from, to := window()
+			s.Faults = append(s.Faults,
+				Fault{At: from, Kind: FaultCrash, A: perm[i]},
+				Fault{At: to, Kind: FaultRestore, A: perm[i]})
+		}
+	}
+	if cfg.NumNodes >= 2 { // partitions need two distinct nodes
+		var pairs [][2]int
+		for a := 0; a < cfg.NumNodes; a++ {
+			for b := a + 1; b < cfg.NumNodes; b++ {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		n := min(rng.IntN(cfg.MaxPartitions+1), len(pairs))
+		for i := 0; i < n; i++ {
+			from, to := window()
+			s.Faults = append(s.Faults,
+				Fault{At: from, Kind: FaultPartitionForm, A: pairs[i][0], B: pairs[i][1]},
+				Fault{At: to, Kind: FaultPartitionHeal, A: pairs[i][0], B: pairs[i][1]})
+		}
+	}
+	sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].At < s.Faults[j].At })
+	return s
+}
+
+// IsByzantine reports whether node i holds one of the Byzantine seats.
+func (s Scenario) IsByzantine(i int) bool {
+	for _, b := range s.Byzantine {
+		if b == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Install schedules every fault onto d as a labeled event against target.
+// Call before starting traffic so trace sequence numbers are deterministic.
+func (s Scenario) Install(d *Driver, target Surface) {
+	for _, f := range s.Faults {
+		f := f
+		d.Schedule(f.At, f.Label(), func() {
+			switch f.Kind {
+			case FaultCrash:
+				target.Crash(f.A)
+			case FaultRestore:
+				target.Restore(f.A)
+			case FaultPartitionForm:
+				target.Partition(f.A, f.B, true)
+			case FaultPartitionHeal:
+				target.Partition(f.A, f.B, false)
+			}
+		})
+	}
+}
+
+// Probe is an invariant checked continuously while a scenario runs — the
+// paper's safety properties (at most one UCERT per ballot, receipt
+// validity, tally correctness) evaluated during the fault schedule rather
+// than only at the end, so a transient violation cannot heal unobserved.
+type Probe struct {
+	Name string
+	// Every is the virtual-time check period (default 1ms).
+	Every time.Duration
+	// Check returns an error describing the violation, or nil.
+	Check func() error
+}
+
+// Violations collects probe failures across a scenario run.
+type Violations struct {
+	mu   sync.Mutex
+	list []string
+}
+
+func (v *Violations) add(s string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.list = append(v.list, s)
+}
+
+// List returns the recorded violations.
+func (v *Violations) List() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, len(v.list))
+	copy(out, v.list)
+	return out
+}
+
+// Empty reports whether no probe ever failed.
+func (v *Violations) Empty() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.list) == 0
+}
+
+// InstallProbes schedules each probe to run every Probe.Every of virtual
+// time for the scenario's duration (plus one final check at the end), and
+// returns the collector the test asserts on after the run.
+func (s Scenario) InstallProbes(d *Driver, probes []Probe) *Violations {
+	v := &Violations{}
+	for _, p := range probes {
+		p := p
+		if p.Every <= 0 {
+			p.Every = time.Millisecond
+		}
+		run := func() {
+			if err := p.Check(); err != nil {
+				v.add(p.Name + ": " + err.Error())
+			}
+		}
+		var arm func(off time.Duration)
+		arm = func(off time.Duration) {
+			if off >= s.Duration {
+				// Final check exactly at the end of the schedule.
+				d.AfterFunc(s.Duration-(off-p.Every), run)
+				return
+			}
+			d.AfterFunc(p.Every, func() {
+				run()
+				arm(off + p.Every)
+			})
+		}
+		arm(p.Every)
+	}
+	return v
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ddemos/internal/clock"
 	"ddemos/internal/wire"
 )
 
@@ -30,6 +31,10 @@ type BatcherOptions struct {
 	// and shutdown flushes have no caller to return an error to; without a
 	// hook those drops are invisible outside the SendErrors counter).
 	OnSendError func(to NodeID, err error)
+	// Timers schedules the flush-window timer (default the real clock).
+	// Pass a sim.Driver or clock.Fake to drive flush windows in virtual
+	// time.
+	Timers clock.Timers
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -50,6 +55,9 @@ func (o BatcherOptions) withDefaults() BatcherOptions {
 	// flush would be rejected by the receiving TCP read loop.
 	if o.MaxBytes > maxTCPFrame/2 {
 		o.MaxBytes = maxTCPFrame / 2
+	}
+	if o.Timers == nil {
+		o.Timers = clock.Real{}
 	}
 	return o
 }
@@ -93,7 +101,7 @@ type Batcher struct {
 type destQueue struct {
 	frames [][]byte
 	bytes  int
-	timer  *time.Timer
+	timer  clock.Timer
 
 	sendMu sync.Mutex
 }
@@ -150,7 +158,7 @@ func (b *Batcher) Send(to NodeID, payload []byte) error {
 	q.bytes += len(payload)
 	full := len(q.frames) >= b.opts.MaxMessages || q.bytes >= b.opts.MaxBytes
 	if !full && q.timer == nil {
-		q.timer = time.AfterFunc(b.opts.Window, func() {
+		q.timer = b.opts.Timers.AfterFunc(b.opts.Window, func() {
 			if err := b.flushQueue(to, q); err != nil {
 				b.noteSendError(to, err)
 			}

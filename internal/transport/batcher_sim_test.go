@@ -1,0 +1,274 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ddemos/internal/clock"
+	"ddemos/internal/sim"
+	"ddemos/internal/wire"
+)
+
+// scriptedEndpoint is a recording inner endpoint whose first failFirst
+// Sends return an error — the deterministic stand-in for a dead connection
+// during a deferred flush.
+type scriptedEndpoint struct {
+	id NodeID
+
+	mu        sync.Mutex
+	sent      [][]byte
+	failFirst int
+
+	out  chan Envelope
+	once sync.Once
+}
+
+func newScriptedEndpoint(id NodeID) *scriptedEndpoint {
+	return &scriptedEndpoint{id: id, out: make(chan Envelope)}
+}
+
+func (s *scriptedEndpoint) ID() NodeID { return s.id }
+
+func (s *scriptedEndpoint) Send(to NodeID, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failFirst > 0 {
+		s.failFirst--
+		return errors.New("scripted send failure")
+	}
+	s.sent = append(s.sent, append([]byte(nil), payload...))
+	return nil
+}
+
+func (s *scriptedEndpoint) Recv() <-chan Envelope { return s.out }
+
+func (s *scriptedEndpoint) Close() error {
+	s.once.Do(func() { close(s.out) })
+	return nil
+}
+
+func (s *scriptedEndpoint) sentFrames() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.sent))
+	copy(out, s.sent)
+	return out
+}
+
+func TestBatcherWindowExpiresInVirtualTime(t *testing.T) {
+	// The flush window is a virtual-time event: nothing leaves before the
+	// clock crosses it, everything queued leaves exactly when it does.
+	fake := clock.NewFake(time.Unix(1000, 0))
+	inner := newScriptedEndpoint(1)
+	b := NewBatcher(inner, BatcherOptions{Window: time.Millisecond, Timers: fake})
+	defer func() { _ = b.Close() }()
+
+	for i := 0; i < 3; i++ {
+		if err := b.Send(2, testFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fake.Advance(999 * time.Microsecond)
+	if got := inner.sentFrames(); len(got) != 0 {
+		t.Fatalf("flushed %d frames before the window expired", len(got))
+	}
+	fake.Advance(time.Microsecond)
+	got := inner.sentFrames()
+	if len(got) != 1 {
+		t.Fatalf("window expiry sent %d frames, want 1 batch", len(got))
+	}
+	frames, err := wire.SplitBatch(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("batch carries %d frames, want 3", len(frames))
+	}
+	// The timer is disarmed after firing: advancing further sends nothing.
+	fake.Advance(time.Hour)
+	if len(inner.sentFrames()) != 1 {
+		t.Fatal("expired timer flushed again")
+	}
+}
+
+func TestBatcherThresholdFlushBeatsWindow(t *testing.T) {
+	// MaxMessages and MaxBytes flush synchronously; the armed window timer
+	// must then fire empty (no duplicate batch).
+	fake := clock.NewFake(time.Unix(1000, 0))
+	inner := newScriptedEndpoint(1)
+	b := NewBatcher(inner, BatcherOptions{Window: time.Millisecond, MaxMessages: 2, Timers: fake})
+	defer func() { _ = b.Close() }()
+
+	if err := b.Send(2, testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(2, testFrame(1)); err != nil { // hits MaxMessages
+		t.Fatal(err)
+	}
+	if got := inner.sentFrames(); len(got) != 1 {
+		t.Fatalf("threshold flush sent %d frames without any clock advance, want 1", len(got))
+	}
+	fake.Advance(time.Hour)
+	if got := inner.sentFrames(); len(got) != 1 {
+		t.Fatalf("window fired a duplicate flush: %d frames", len(got))
+	}
+
+	// MaxBytes: the second small frame crosses the byte cap, and the flush
+	// re-chunks under it — two unwrapped singletons, no clock advance.
+	inner2 := newScriptedEndpoint(1)
+	b2 := NewBatcher(inner2, BatcherOptions{Window: time.Millisecond, MaxBytes: 16, Timers: fake})
+	defer func() { _ = b2.Close() }()
+	if err := b2.Send(2, testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Send(2, testFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	got2 := inner2.sentFrames()
+	if len(got2) != 2 {
+		t.Fatalf("byte-threshold flush sent %d frames, want 2 byte-capped chunks", len(got2))
+	}
+	for _, f := range got2 {
+		if wire.IsBatchFrame(f) {
+			t.Fatal("byte-capped singleton chunk must pass through unwrapped")
+		}
+	}
+}
+
+func TestBatcherWindowRearmsAfterThresholdFlush(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	inner := newScriptedEndpoint(1)
+	b := NewBatcher(inner, BatcherOptions{Window: time.Millisecond, MaxMessages: 2, Timers: fake})
+	defer func() { _ = b.Close() }()
+
+	if err := b.Send(2, testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(2, testFrame(1)); err != nil { // threshold flush
+		t.Fatal(err)
+	}
+	if err := b.Send(2, testFrame(2)); err != nil { // below threshold: waits
+		t.Fatal(err)
+	}
+	if got := inner.sentFrames(); len(got) != 1 {
+		t.Fatalf("straggler flushed early: %d frames", len(got))
+	}
+	fake.Advance(time.Millisecond)
+	got := inner.sentFrames()
+	if len(got) != 2 {
+		t.Fatalf("straggler not flushed by the re-armed window: %d frames", len(got))
+	}
+	if wire.IsBatchFrame(got[1]) {
+		t.Fatal("singleton straggler must pass through unwrapped")
+	}
+}
+
+func TestBatcherDeferredFlushErrorSurfacesAndDropsOnlyThatChunk(t *testing.T) {
+	// A timer flush has no caller to hand its error to: it must land in
+	// SendErrors and the OnSendError hook, and a failed chunk must not
+	// stop later chunks from being attempted.
+	fake := clock.NewFake(time.Unix(1000, 0))
+	inner := newScriptedEndpoint(1)
+	var hookMu sync.Mutex
+	var hooked []NodeID
+	b := NewBatcher(inner, BatcherOptions{
+		Window:      time.Millisecond,
+		MaxMessages: 2,
+		Timers:      fake,
+		OnSendError: func(to NodeID, err error) {
+			hookMu.Lock()
+			hooked = append(hooked, to)
+			hookMu.Unlock()
+		},
+	})
+	defer func() { _ = b.Close() }()
+
+	// Deferred (timer) flush fails: error is counted and hooked, not lost.
+	inner.mu.Lock()
+	inner.failFirst = 1
+	inner.mu.Unlock()
+	if err := b.Send(2, testFrame(0)); err != nil {
+		t.Fatal(err)
+	}
+	fake.Advance(time.Millisecond)
+	if got := b.SendErrors(); got != 1 {
+		t.Fatalf("SendErrors = %d, want 1", got)
+	}
+	hookMu.Lock()
+	if len(hooked) != 1 || hooked[0] != 2 {
+		t.Fatalf("OnSendError saw %v, want [2]", hooked)
+	}
+	hookMu.Unlock()
+
+	// Later chunks still get their attempt after an earlier chunk errors:
+	// queue five frames directly (as a concurrent burst would) so the
+	// flush re-chunks into [2][2][1], and fail only the first chunk.
+	b.mu.Lock()
+	q := &destQueue{}
+	b.queues[3] = q
+	for i := 0; i < 5; i++ {
+		f := testFrame(10 + i)
+		q.frames = append(q.frames, f)
+		q.bytes += len(f)
+	}
+	b.mu.Unlock()
+	inner.mu.Lock()
+	inner.failFirst = 1
+	before := len(inner.sent)
+	inner.mu.Unlock()
+	if err := b.flushQueue(3, q); err == nil {
+		t.Fatal("flush must report the failed chunk")
+	}
+	delivered := inner.sentFrames()[before:]
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d chunks after the failure, want 2", len(delivered))
+	}
+	gotMsgs := 0
+	for _, d := range delivered {
+		frames, err := wire.SplitBatch(d)
+		if err != nil {
+			// A one-frame chunk passes through unwrapped.
+			gotMsgs++
+			continue
+		}
+		gotMsgs += len(frames)
+	}
+	if gotMsgs != 3 {
+		t.Fatalf("surviving chunks carried %d messages, want 3 (first chunk of 2 dropped)", gotMsgs)
+	}
+}
+
+func TestBatcherEndToEndOverVirtualMemnet(t *testing.T) {
+	// Full virtual-time path: sim driver owns both the flush window and
+	// the link latency; one Elapse call moves the messages end to end.
+	drv := sim.New(sim.Config{})
+	net := NewMemnetWithTimers(LinkProfile{Latency: 200 * time.Microsecond}, drv)
+	defer func() { _ = net.Close() }()
+	a := NewBatcher(net.Endpoint(1), BatcherOptions{Window: 500 * time.Microsecond, Timers: drv})
+	b := NewBatcher(net.Endpoint(2), BatcherOptions{Window: 500 * time.Microsecond, Timers: drv})
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+
+	const total = 5
+	for i := 0; i < total; i++ {
+		if err := a.Send(2, testFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drv.Elapse(2 * time.Millisecond) // window + latency, with margin
+	for i := 0; i < total; i++ {
+		env := recvWithTimeout(t, b, 5*time.Second)
+		m, err := wire.Decode(env.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.(*wire.Endorse).Serial; got != uint64(i) {
+			t.Fatalf("message %d arrived as %d (FIFO broken)", i, got)
+		}
+	}
+	if msgs, _ := net.Stats(); msgs != 1 {
+		t.Fatalf("network saw %d frames, want 1 coalesced batch", msgs)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math/rand/v2"
 	"sync"
 	"time"
+
+	"ddemos/internal/clock"
 )
 
 // LinkProfile describes the behaviour of a directed link in the simulated
@@ -35,23 +37,43 @@ type Memnet struct {
 	links      map[[2]NodeID]LinkProfile
 	eps        map[NodeID]*memEndpoint
 	blocked    map[[2]NodeID]bool
+	isolated   map[NodeID]bool
 	rng        *rand.Rand
+	timers     clock.Timers
 	closed     bool
-	inflight   sync.WaitGroup
 	totalSent  int64
 	totalBytes int64
 }
 
-// NewMemnet creates a simulated network with the given default link profile.
+// NewMemnet creates a simulated network with the given default link profile,
+// delivering on real timers.
 func NewMemnet(def LinkProfile) *Memnet {
+	return NewMemnetWithTimers(def, clock.Real{})
+}
+
+// NewMemnetWithTimers creates a simulated network whose delivery delays are
+// scheduled on tm — pass a sim.Driver to run the network in virtual time,
+// where a 25 ms WAN hop costs no wall-clock wait and delivery order is the
+// driver's deterministic event order.
+func NewMemnetWithTimers(def LinkProfile, tm clock.Timers) *Memnet {
 	return &Memnet{
 		defaultLP: def,
 		links:     make(map[[2]NodeID]LinkProfile),
 		eps:       make(map[NodeID]*memEndpoint),
 		blocked:   make(map[[2]NodeID]bool),
+		isolated:  make(map[NodeID]bool),
+		timers:    tm,
 		// The RNG drives fault injection, not cryptography.
 		rng: rand.New(rand.NewPCG(0xD0D0, 0xCACA)), //nolint:gosec // simulation only
 	}
+}
+
+// Reseed re-seeds the fault-injection RNG so a scenario's drop/dup/jitter
+// draws are reproducible from its seed.
+func (n *Memnet) Reseed(s1, s2 uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = rand.New(rand.NewPCG(s1, s2)) //nolint:gosec // simulation only
 }
 
 // SetLink overrides the profile of the directed link from -> to.
@@ -83,18 +105,17 @@ func (n *Memnet) Partition(a, b NodeID, on bool) {
 }
 
 // Isolate blocks (or restores) all traffic to and from id, simulating a
-// crashed or unreachable node.
+// crashed or unreachable node. Isolation is tracked separately from
+// pairwise partitions, so crash windows and partition windows compose:
+// restoring a crashed node does not heal partitions it is part of, and
+// healing a partition does not reconnect a crashed node.
 func (n *Memnet) Isolate(id NodeID, on bool) {
 	n.mu.Lock()
-	ids := make([]NodeID, 0, len(n.eps))
-	for other := range n.eps {
-		if other != id {
-			ids = append(ids, other)
-		}
-	}
-	n.mu.Unlock()
-	for _, other := range ids {
-		n.Partition(id, other, on)
+	defer n.mu.Unlock()
+	if on {
+		n.isolated[id] = true
+	} else {
+		delete(n.isolated, id)
 	}
 }
 
@@ -163,7 +184,7 @@ func (n *Memnet) send(from, to NodeID, payload []byte) error {
 		n.mu.Unlock()
 		return ErrUnknownPeer
 	}
-	if n.blocked[[2]NodeID{from, to}] {
+	if n.blocked[[2]NodeID{from, to}] || n.isolated[from] || n.isolated[to] {
 		// Silently dropped: an unreachable peer looks identical to a lossy
 		// link from the sender's perspective.
 		n.mu.Unlock()
@@ -194,11 +215,10 @@ func (n *Memnet) send(from, to NodeID, payload []byte) error {
 			dst.enqueue(env)
 			continue
 		}
-		n.inflight.Add(1)
-		time.AfterFunc(d, func() {
-			defer n.inflight.Done()
-			dst.enqueue(env)
-		})
+		// No delivery tracking: a closed endpoint drops late enqueues, and
+		// waiting on deliveries scheduled on an injected (virtual) timer
+		// would hang teardown when the driver stops first.
+		n.timers.AfterFunc(d, func() { dst.enqueue(env) })
 	}
 	return nil
 }

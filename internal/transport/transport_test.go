@@ -131,6 +131,44 @@ func TestMemnetIsolate(t *testing.T) {
 	}
 }
 
+func TestMemnetIsolationAndPartitionCompose(t *testing.T) {
+	// Crash (Isolate) and partition are independent levers: healing a
+	// partition must not reconnect a crashed node, and restoring a crashed
+	// node must not heal a partition it was part of. Scenario schedules
+	// overlap the two freely and rely on this.
+	net := NewMemnet(LinkProfile{})
+	defer func() { _ = net.Close() }()
+	a := net.Endpoint(1)
+	b := net.Endpoint(2)
+
+	net.Isolate(2, true)
+	net.Partition(1, 2, true)
+	net.Partition(1, 2, false) // heal while node 2 is still crashed
+	_ = a.Send(2, []byte("x"))
+	select {
+	case <-b.Recv():
+		t.Fatal("partition heal reconnected a crashed node")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	net.Partition(1, 2, true)
+	net.Isolate(2, false) // restore the node while the partition is live
+	_ = a.Send(2, []byte("y"))
+	select {
+	case <-b.Recv():
+		t.Fatal("restoring a crashed node healed a live partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	net.Partition(1, 2, false)
+	if err := a.Send(2, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvWithTimeout(t, b, time.Second); string(env.Payload) != "z" {
+		t.Fatalf("got %q after full heal", env.Payload)
+	}
+}
+
 func TestMemnetPerLinkProfile(t *testing.T) {
 	net := NewMemnet(LinkProfile{})
 	defer func() { _ = net.Close() }()

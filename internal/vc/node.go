@@ -947,3 +947,26 @@ func (n *Node) BallotStatus(serial uint64) (Status, []byte) {
 	defer st.mu.Unlock()
 	return st.status, st.usedCode
 }
+
+// CertAgreement checks the at-most-one-UCERT safety invariant across a set
+// of nodes: any two that have bound a ballot in [1, numBallots] to a code
+// agree on the code. Fault-injection harnesses probe this continuously
+// while a fault schedule runs (DESIGN.md, "Scenarios, probes").
+func CertAgreement(nodes []*Node, numBallots int) error {
+	for b := 1; b <= numBallots; b++ {
+		serial := uint64(b)
+		var seen []byte
+		for i, n := range nodes {
+			_, code := n.BallotStatus(serial)
+			if code == nil {
+				continue
+			}
+			if seen == nil {
+				seen = code
+			} else if !bytes.Equal(seen, code) {
+				return fmt.Errorf("vc: ballot %d: node %d certified a conflicting code", serial, i)
+			}
+		}
+	}
+	return nil
+}

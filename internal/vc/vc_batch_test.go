@@ -11,14 +11,27 @@ import (
 	"ddemos/internal/ballot"
 	"ddemos/internal/clock"
 	"ddemos/internal/ea"
+	"ddemos/internal/sim"
 	"ddemos/internal/transport"
 )
 
 // newClusterStack builds a VC cluster whose endpoints are wrapped by stack
-// (per node index), over a Memnet with the given link profile — the harness
-// for the batched-pipeline and fault-injection tests.
+// (per node index), over a Memnet in the sim driver's virtual time — the
+// harness for the batched-pipeline and fault-injection tests. Every timer
+// in the cluster (link latency and jitter, batch-flush windows, vote
+// deadlines via cluster.drv.WithTimeout) lives on the driver's event queue,
+// so fault schedules replay identically from the seed and nothing depends
+// on wall-clock scheduling under load.
 func newClusterStack(t *testing.T, numBallots, numVC int, lp transport.LinkProfile,
-	stack func(i int, data *ea.ElectionData, ep transport.Endpoint) transport.Endpoint) *cluster {
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint) *cluster {
+	return newSimClusterStack(t, 1, nil, numBallots, numVC, lp, stack)
+}
+
+// newSimClusterStack is newClusterStack with an explicit seed and Byzantine
+// assignment (scenario sweeps build many of these).
+func newSimClusterStack(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots, numVC int,
+	lp transport.LinkProfile,
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint) *cluster {
 	t.Helper()
 	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
 	data, err := ea.Setup(ea.Params{
@@ -36,18 +49,22 @@ func newClusterStack(t *testing.T, numBallots, numVC int, lp transport.LinkProfi
 	if err != nil {
 		t.Fatal(err)
 	}
+	drv := sim.New(sim.Config{Start: start.Add(time.Minute)})
+	net := transport.NewMemnetWithTimers(lp, drv)
+	net.Reseed(seed, 0xFA17)
 	c := &cluster{
 		t:    t,
 		data: data,
-		net:  transport.NewMemnet(lp),
-		clk:  clock.NewFake(start.Add(time.Minute)),
+		net:  net,
+		drv:  drv,
 	}
 	for i := 0; i < numVC; i++ {
-		ep := stack(i, data, c.net.Endpoint(transport.NodeID(i)))
+		ep := stack(i, data, c.net.Endpoint(transport.NodeID(i)), drv)
 		node, err := New(Config{
-			Init:     data.VC[i],
-			Endpoint: ep,
-			Clock:    c.clk,
+			Init:      data.VC[i],
+			Endpoint:  ep,
+			Clock:     drv,
+			Byzantine: byz[i],
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -56,18 +73,25 @@ func newClusterStack(t *testing.T, numBallots, numVC int, lp transport.LinkProfi
 		c.nodes = append(c.nodes, node)
 	}
 	t.Cleanup(c.stop)
+	t.Cleanup(drv.Spin())
 	return c
 }
 
 // batchedStack is the production endpoint stack: network → Signed → Batcher.
-func batchedStack(opts transport.BatcherOptions) func(int, *ea.ElectionData, transport.Endpoint) transport.Endpoint {
-	return func(i int, data *ea.ElectionData, ep transport.Endpoint) transport.Endpoint {
+func batchedStack(opts transport.BatcherOptions) func(int, *ea.ElectionData, transport.Endpoint, clock.Timers) transport.Endpoint {
+	return func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint {
 		pubs := make(map[transport.NodeID]ed25519.PublicKey, data.Manifest.NumVC)
 		for j, p := range data.Manifest.VCPublics {
 			pubs[transport.NodeID(j)] = p //nolint:gosec // small
 		}
+		opts.Timers = tm
 		return transport.NewBatcher(transport.NewSigned(ep, data.VC[i].Private, pubs), opts)
 	}
+}
+
+// rawStack attaches nodes directly to the network.
+func rawStack(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint {
+	return ep
 }
 
 func TestVoteBatchedPipeline(t *testing.T) {
@@ -116,9 +140,9 @@ func TestVoteBatchingSenderOnlyInterop(t *testing.T) {
 	// themselves (mixed deployments with inconsistent -batch-window flags).
 	c := newClusterStack(t, 4, 4,
 		transport.LinkProfile{Latency: 200 * time.Microsecond},
-		func(i int, data *ea.ElectionData, ep transport.Endpoint) transport.Endpoint {
+		func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint {
 			if i == 0 {
-				return transport.NewBatcher(ep, transport.BatcherOptions{Window: time.Millisecond})
+				return transport.NewBatcher(ep, transport.BatcherOptions{Window: time.Millisecond, Timers: tm})
 			}
 			return ep
 		})
@@ -188,7 +212,9 @@ func TestBatchedFaultInjectionAtMostOneUCert(t *testing.T) {
 			wg.Add(1)
 			go func(at int, code []byte) {
 				defer wg.Done()
-				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				// Virtual deadline: a starved vote ends when the simulation
+				// reaches +5s, not after a wall-clock sleep.
+				ctx, cancel := c.drv.WithTimeout(context.Background(), 5*time.Second)
 				defer cancel()
 				r, err := c.nodes[at].SubmitVote(ctx, serial, code)
 				results <- res{serial, r, err}

@@ -9,17 +9,28 @@ import (
 	"ddemos/internal/ballot"
 	"ddemos/internal/clock"
 	"ddemos/internal/ea"
+	"ddemos/internal/sim"
 	"ddemos/internal/transport"
 	"ddemos/internal/wire"
 )
 
 // cluster is a test harness running Nv VC nodes over a simulated network.
+// Either clk (manual fake clock, real Memnet timers) or drv (virtual time,
+// sim-driven Memnet) is set, depending on the constructor.
 type cluster struct {
 	t     *testing.T
 	data  *ea.ElectionData
 	net   *transport.Memnet
 	nodes []*Node
 	clk   *clock.Fake
+	drv   *sim.Driver
+}
+
+// Crash, Restore and Partition implement sim.Surface for scenario runs.
+func (c *cluster) Crash(i int)   { c.net.Isolate(transport.NodeID(i), true) }  //nolint:gosec // small
+func (c *cluster) Restore(i int) { c.net.Isolate(transport.NodeID(i), false) } //nolint:gosec // small
+func (c *cluster) Partition(a, b int, on bool) {
+	c.net.Partition(transport.NodeID(a), transport.NodeID(b), on) //nolint:gosec // small
 }
 
 func newCluster(t *testing.T, numBallots, numVC int, byz map[int]Byzantine) *cluster {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ddemos/internal/clock"
 	"ddemos/internal/consensus"
 	"ddemos/internal/ea"
 	"ddemos/internal/sig"
@@ -369,18 +370,43 @@ func (e *vscEngine) recover(ctx context.Context, decisions []byte) error {
 		if err := transport.Multicast(e.n.ep, e.n.peers, frame); err != nil {
 			e.n.metrics.SendErrors.Add(1)
 		}
+		// Pace the retransmission on the node's injected clock, so a
+		// simulated election retries in virtual time instead of parking a
+		// goroutine on a wall-clock timer the simulator cannot see. For
+		// non-real injected clocks a longer wall-clock backstop guards
+		// liveness (a manually-advanced Fake that nobody moves during
+		// recovery would otherwise never retry); it is 4× the interval so
+		// a live simulation's virtual retry always wins, and on the real
+		// clock it is omitted — the injected timer already is the wall
+		// clock.
+		retry := make(chan struct{}, 1)
+		tm := clock.AfterFunc(e.n.clk, recoverRetryInterval, func() {
+			select {
+			case retry <- struct{}{}:
+			default:
+			}
+		})
+		var backstop <-chan time.Time
+		if _, isReal := e.n.clk.(clock.Real); !isReal {
+			backstop = time.After(4 * recoverRetryInterval)
+		}
 		select {
 		case <-e.missingDone:
+			tm.Stop()
 			e.missingMu.Lock()
 			empty := len(e.missing) == 0
 			e.missingMu.Unlock()
 			if empty {
 				return nil
 			}
-		case <-time.After(recoverRetryInterval):
+		case <-retry:
+		case <-backstop:
+			tm.Stop()
 		case <-ctx.Done():
+			tm.Stop()
 			return fmt.Errorf("vc: recovering vote codes: %w", ctx.Err())
 		case <-e.n.done:
+			tm.Stop()
 			return ErrStopped
 		}
 	}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedFrames builds one representative encoded frame per message kind
+// (plus a coalesced Batch) — the in-code half of the seed corpus; the
+// checked-in half lives under testdata/fuzz.
+func fuzzSeedFrames() [][]byte {
+	cert := UCert{
+		Serial: 7,
+		Code:   []byte("code-7"),
+		Sigs: []SigEntry{
+			{Signer: 0, Sig: bytes.Repeat([]byte{0xAA}, 64)},
+			{Signer: 2, Sig: bytes.Repeat([]byte{0xBB}, 64)},
+		},
+	}
+	msgs := []Message{
+		&Endorse{Serial: 1, Code: []byte("vote-code")},
+		&Endorsement{Serial: 1, Code: []byte("vote-code"), Signer: 3, Sig: bytes.Repeat([]byte{0xCC}, 64)},
+		&VoteP{
+			Serial:     7,
+			Code:       []byte("code-7"),
+			ShareIndex: 4,
+			ShareValue: bytes.Repeat([]byte{0x11}, 32),
+			ShareSig:   bytes.Repeat([]byte{0x22}, 64),
+			Cert:       cert,
+		},
+		&Announce{Sender: 1, Entries: []AnnounceEntry{{Serial: 7, Code: []byte("code-7"), Cert: cert}}},
+		&RecoverRequest{Serials: []uint64{1, 2, 9}},
+		&RecoverResponse{Entries: []AnnounceEntry{{Serial: 9, Code: []byte("code-9"), Cert: cert}}},
+		&Consensus{Sender: 2, Groups: []ConsensusGroup{
+			{Step: StepBVal, Round: 1, Value: 1, Instances: []uint32{0, 5, 9}},
+			{Step: StepDecide, Round: 3, Value: 0, Instances: []uint32{2}},
+		}},
+	}
+	frames := make([][]byte, 0, len(msgs)+4)
+	for _, m := range msgs {
+		frames = append(frames, Encode(m))
+	}
+	frames = append(frames,
+		Encode(&Batch{Frames: [][]byte{frames[0], frames[1], frames[2]}}),
+		[]byte{},              // empty frame
+		[]byte{0xFF, 1, 2, 3}, // unknown kind
+		Encode(msgs[0])[:3],   // truncated
+	)
+	return frames
+}
+
+// FuzzDecode checks the decoder's contract on arbitrary bytes: it never
+// panics, and whatever it accepts re-encodes to the identical frame
+// (encoding is canonical, decoding is strict).
+func FuzzDecode(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error not wrapping ErrMalformed: %v", err)
+			}
+			return
+		}
+		re := Encode(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzSplitBatch checks the transport unbatching path: SplitBatch never
+// panics, every frame it returns is a non-empty non-batch frame, and the
+// split re-assembles into the identical batch envelope.
+func FuzzSplitBatch(f *testing.F) {
+	seeds := fuzzSeedFrames()
+	f.Add(Encode(&Batch{Frames: [][]byte{seeds[0], seeds[1]}}))
+	f.Add(Encode(&Batch{Frames: [][]byte{seeds[2]}}))
+	f.Add(Encode(&Batch{}))
+	f.Add([]byte{byte(KindBatch), BatchVersion, 0, 0, 0, 2}) // truncated count
+	f.Add(seeds[0])                                          // not a batch
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := SplitBatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("split error not wrapping ErrMalformed: %v", err)
+			}
+			return
+		}
+		for i, frame := range frames {
+			if len(frame) == 0 {
+				t.Fatalf("frame %d is empty", i)
+			}
+			if IsBatchFrame(frame) {
+				t.Fatalf("frame %d is a nested batch", i)
+			}
+		}
+		if len(frames) > MaxBatchFrames {
+			t.Fatalf("accepted %d frames, cap is %d", len(frames), MaxBatchFrames)
+		}
+		re := Encode(&Batch{Frames: frames})
+		if !bytes.Equal(re, data) {
+			t.Fatalf("split/re-encode not canonical:\n in  %x\n out %x", data, re)
+		}
+	})
+}
