@@ -178,6 +178,25 @@ func BenchmarkFig5cPhaseBreakdown(b *testing.B) {
 	}
 }
 
+// BenchmarkWALAblation — the durability tax: the identical vote-collection
+// workload with runtime-state journaling (WAL + snapshot, batched fsync)
+// off and on. The on/off ratio is machine-independent and is the metric the
+// CI benchmark-tracking job gates on: at default group-commit batching, the
+// journaled hot path must stay within 30% of memory-only throughput.
+func BenchmarkWALAblation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		row, err := benchmark.RunWALAblation(benchBallots, benchVotes, 400, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wal-off=%.1f op/s wal-on=%.1f op/s ratio=%.3f", row.Off, row.On, row.Ratio())
+		b.ReportMetric(row.Off, "wal-off-votes/sec")
+		b.ReportMetric(row.On, "wal-on-votes/sec")
+		b.ReportMetric(row.Ratio(), "wal-ratio")
+	}
+}
+
 // BenchmarkTable1StepBounds — Table I: evaluates the liveness time upper
 // bounds for every protocol step from measured Tcomp and the simulated
 // network's δ, and checks the measured end-to-end latency against Twait.

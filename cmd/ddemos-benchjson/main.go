@@ -1,0 +1,91 @@
+// ddemos-benchjson converts `go test -bench` output into the machine-readable
+// BENCH_<date>.json artifact and gates it against the checked-in baseline:
+//
+//	go test -bench 'Fig5bThroughputVsOptions|WALAblation' -benchtime 1x -run XXX . | tee bench.out
+//	ddemos-benchjson -in bench.out -out BENCH_$(date +%F).json -baseline BENCH_BASELINE.json
+//
+// Exit status: 0 = gate passed, 1 = regression beyond tolerance (or a gated
+// benchmark missing from the run), 2 = usage or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"ddemos/internal/benchjson"
+)
+
+func main() {
+	in := flag.String("in", "-", "bench output file (- = stdin)")
+	out := flag.String("out", "", "JSON artifact path (empty = stdout)")
+	baselinePath := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date stamped into the artifact")
+	flag.Parse()
+	log.SetFlags(0)
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Printf("benchjson: %v", err)
+			os.Exit(2)
+		}
+		defer func() { _ = f.Close() }()
+		src = f
+	}
+	rows, err := benchjson.Parse(src)
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	if len(rows) == 0 {
+		log.Print("benchjson: no benchmark rows found in input")
+		os.Exit(2)
+	}
+	rep := benchjson.Report{Date: *date, Go: runtime.Version(), Rows: rows}
+
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Printf("benchjson: %v", err)
+			os.Exit(2)
+		}
+		defer func() { _ = f.Close() }()
+		dst = f
+	}
+	if err := benchjson.WriteReport(dst, rep); err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rows))
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	base, err := benchjson.ReadBaseline(bf)
+	_ = bf.Close()
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	if violations := benchjson.Compare(rows, base); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "baseline gate passed (%d entries)\n", len(base.Entries))
+}

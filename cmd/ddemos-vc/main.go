@@ -32,6 +32,12 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0,
 		"coalesce outgoing inter-VC messages per peer for up to this window (0 disables batching)")
 	batchMax := flag.Int("batch-max", 0, "max messages per batch (0 = transport default)")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable runtime state (WAL + snapshot); the node recovers from it on startup, "+
+			"so a crashed collector rejoins the election instead of staying down (empty = memory-only)")
+	fsync := flag.Bool("fsync", false,
+		"fsync the journal before every ack instead of on the batched group-commit cadence "+
+			"(per-transition durability against power loss; requires -data-dir)")
 	flag.Parse()
 	if *initPath == "" {
 		log.Fatal("-init is required")
@@ -69,6 +75,14 @@ func main() {
 	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		if err := node.RecoverWithOptions(*dataDir, vc.JournalOptions{Fsync: *fsync}); err != nil {
+			log.Fatalf("recovering runtime state from %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered runtime state from %s (fsync=%v)", *dataDir, *fsync)
+	} else if *fsync {
+		log.Fatal("-fsync requires -data-dir")
 	}
 	node.Start()
 	defer node.Stop()

@@ -1,0 +1,174 @@
+// Package benchjson turns `go test -bench` output into machine-readable
+// JSON and gates it against a checked-in baseline — the benchmark-tracking
+// half of the CI pipeline. Raw throughputs vary with the runner, so the
+// baseline gates primarily on ratio metrics (batching speedup, WAL
+// durability tax), which are machine-independent; the full per-run numbers
+// still land in the BENCH_<date>.json artifact for trend analysis.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Row is one parsed benchmark result: the benchmark name (CPU-count suffix
+// stripped) and every reported metric, ns/op and allocations included.
+type Row struct {
+	Benchmark  string             `json:"benchmark"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact written on every main-branch CI run.
+type Report struct {
+	Date string `json:"date"`
+	Go   string `json:"go,omitempty"`
+	Rows []Row  `json:"rows"`
+}
+
+// Baseline is the checked-in regression gate.
+type Baseline struct {
+	// DefaultTolerance is the allowed relative regression when an entry
+	// does not set its own (the CI policy: 0.20 = fail beyond 20%).
+	DefaultTolerance float64         `json:"default_tolerance"`
+	Entries          []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry gates one metric of one benchmark.
+type BaselineEntry struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	// Direction is "higher" (throughput-like: regression = falling below)
+	// or "lower" (latency-like: regression = rising above).
+	Direction string `json:"direction"`
+	// Tolerance overrides DefaultTolerance for this entry.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Note documents why the entry and its bound exist.
+	Note string `json:"note,omitempty"`
+}
+
+// Parse reads `go test -bench` output. Lines that are not benchmark results
+// (logs, headers, PASS/ok) are skipped.
+func Parse(r io.Reader) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		row := Row{
+			Benchmark:  stripCPUSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		valid := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				valid = false
+				break
+			}
+			row.Metrics[fields[i+1]] = v
+		}
+		if valid {
+			rows = append(rows, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading bench output: %w", err)
+	}
+	return rows, nil
+}
+
+// stripCPUSuffix drops the -<GOMAXPROCS> tail go test appends to names.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare checks every baseline entry against the measured rows, returning
+// one human-readable violation per regression (empty = gate passes). A
+// baseline entry whose benchmark or metric is missing from the run is
+// itself a violation: deleting a benchmark must not green the gate.
+func Compare(rows []Row, base Baseline) []string {
+	tol := base.DefaultTolerance
+	if tol <= 0 {
+		tol = 0.20
+	}
+	byName := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	var violations []string
+	for _, e := range base.Entries {
+		row, ok := byName[e.Benchmark]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: benchmark missing from run (baseline gates %s)", e.Benchmark, e.Metric))
+			continue
+		}
+		got, ok := row.Metrics[e.Metric]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: metric %q missing from run", e.Benchmark, e.Metric))
+			continue
+		}
+		t := e.Tolerance
+		if t <= 0 {
+			t = tol
+		}
+		switch e.Direction {
+		case "lower":
+			if limit := e.Value * (1 + t); got > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s %s: %.4g exceeds baseline %.4g by more than %.0f%% (limit %.4g)",
+					e.Benchmark, e.Metric, got, e.Value, t*100, limit))
+			}
+		default: // "higher"
+			if limit := e.Value * (1 - t); got < limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s %s: %.4g below baseline %.4g by more than %.0f%% (limit %.4g)",
+					e.Benchmark, e.Metric, got, e.Value, t*100, limit))
+			}
+		}
+	}
+	return violations
+}
+
+// WriteReport serializes the artifact.
+func WriteReport(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("benchjson: baseline: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,97 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ddemos
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig5bThroughputVsOptions-8   	       1	31415926535 ns/op	       600.1 votes/sec@m=10	       1100.5 batched-votes/sec@m=10	         1.83 batched-speedup@m=10	123456 B/op	  7890 allocs/op
+--- BENCH: BenchmarkFig5bThroughputVsOptions-8
+    bench_test.go:145: m=10 plain=600.1 signed=580.0 signed+batched=1100.5 op/s (batching speedup 1.83x)
+BenchmarkWALAblation 	       1	14541332474 ns/op	       598.5 wal-off-votes/sec	       493.4 wal-on-votes/sec	         0.8243 wal-ratio	865548784 B/op	15254798 allocs/op
+PASS
+ok  	ddemos	45.971s
+`
+
+func TestParse(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(rows))
+	}
+	if rows[0].Benchmark != "BenchmarkFig5bThroughputVsOptions" {
+		t.Fatalf("cpu suffix not stripped: %q", rows[0].Benchmark)
+	}
+	if got := rows[0].Metrics["batched-speedup@m=10"]; got != 1.83 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if rows[1].Benchmark != "BenchmarkWALAblation" || rows[1].Metrics["wal-ratio"] != 0.8243 {
+		t.Fatalf("wal row mangled: %+v", rows[1])
+	}
+	if rows[1].Metrics["allocs/op"] != 15254798 {
+		t.Fatal("standard metrics must be captured too")
+	}
+}
+
+func baseline() Baseline {
+	return Baseline{
+		DefaultTolerance: 0.20,
+		Entries: []BaselineEntry{
+			{Benchmark: "BenchmarkWALAblation", Metric: "wal-ratio", Value: 1.0, Direction: "higher", Tolerance: 0.30},
+			{Benchmark: "BenchmarkFig5bThroughputVsOptions", Metric: "batched-speedup@m=10", Value: 1.5, Direction: "higher"},
+		},
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(rows, baseline()); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "BenchmarkWALAblation", Metrics: map[string]float64{"wal-ratio": 0.65}},
+		{Benchmark: "BenchmarkFig5bThroughputVsOptions", Metrics: map[string]float64{"batched-speedup@m=10": 1.83}},
+	}
+	v := Compare(rows, baseline())
+	if len(v) != 1 || !strings.Contains(v[0], "wal-ratio") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestCompareFlagsLatencyDirection(t *testing.T) {
+	base := Baseline{Entries: []BaselineEntry{
+		{Benchmark: "BenchmarkX", Metric: "ms/vote", Value: 10, Direction: "lower"},
+	}}
+	ok := []Row{{Benchmark: "BenchmarkX", Metrics: map[string]float64{"ms/vote": 11.5}}}
+	if v := Compare(ok, base); len(v) != 0 {
+		t.Fatalf("11.5 within 20%% of 10: %v", v)
+	}
+	bad := []Row{{Benchmark: "BenchmarkX", Metrics: map[string]float64{"ms/vote": 12.5}}}
+	if v := Compare(bad, base); len(v) != 1 {
+		t.Fatalf("12.5 must regress a 10ms baseline: %v", v)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	v := Compare(nil, baseline())
+	if len(v) != 2 {
+		t.Fatalf("missing benchmarks must violate the gate: %v", v)
+	}
+	rows := []Row{{Benchmark: "BenchmarkWALAblation", Metrics: map[string]float64{"other": 1}}}
+	v = Compare(rows, baseline())
+	if len(v) != 2 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing metric must violate the gate: %v", v)
+	}
+}

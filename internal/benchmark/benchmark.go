@@ -36,7 +36,14 @@ type Config struct {
 	// memory (Fig. 5a).
 	Disk    bool
 	DiskDir string
-	Seed    string
+	// WAL gives every VC node a durable runtime-state journal (the
+	// crash-recovery configuration); WALFsync syncs per transition instead
+	// of on the batched group-commit cadence. The WAL-on/WAL-off delta is
+	// the durability tax tracked by the CI benchmark pipeline.
+	WAL      bool
+	WALFsync bool
+	WALDir   string
+	Seed     string
 	// TransportOptions selects the inter-VC channel configuration (the
 	// batched-vs-unbatched ablation of Fig. 5b).
 	TransportOptions
@@ -108,6 +115,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.WAN {
 		lp := transport.WANProfile
 		clusterOpts.LinkProfile = &lp
+	}
+	if cfg.WAL {
+		dir := cfg.WALDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "ddemos-bench-wal")
+			if err != nil {
+				return nil, err
+			}
+			defer func() { _ = os.RemoveAll(dir) }()
+		}
+		clusterOpts.DataDir = dir
+		clusterOpts.Fsync = cfg.WALFsync
 	}
 	if cfg.Disk {
 		dir := cfg.DiskDir

@@ -185,6 +185,57 @@ func Fig5b(w io.Writer, options []int, ballots, votes, clients int, window time.
 	return nil
 }
 
+// WALAblationRow quantifies the durability tax: the identical vote-collection
+// workload with runtime-state journaling off and on (batched group-commit
+// fsync). The On/Off ratio is the machine-independent number the CI
+// benchmark pipeline tracks — at the default fsync batching it must stay
+// within 30% of the memory-only configuration.
+type WALAblationRow struct {
+	Off float64 // throughput, memory-only runtime state (op/s)
+	On  float64 // throughput, WAL + snapshot journaling (op/s)
+}
+
+// Ratio is On/Off (1.0 = free durability; 0 when Off is unmeasurable).
+func (r WALAblationRow) Ratio() float64 {
+	if r.Off <= 0 {
+		return 0
+	}
+	return r.On / r.Off
+}
+
+// RunWALAblation measures both configurations under the same seed, client
+// load and election parameters.
+func RunWALAblation(ballots, votes, clients, nv int) (WALAblationRow, error) {
+	var row WALAblationRow
+	base := Config{
+		Ballots: ballots, Options: 4, VC: nv,
+		Clients: clients, Votes: votes,
+		Seed: fmt.Sprintf("wal-ablation-%d-%d", nv, votes),
+	}
+	for _, c := range []struct {
+		out *float64
+		wal bool
+	}{{&row.Off, false}, {&row.On, true}} {
+		cfg := base
+		cfg.WAL = c.wal
+		res, err := Run(cfg)
+		if err != nil {
+			return row, fmt.Errorf("wal ablation (wal=%v): %w", c.wal, err)
+		}
+		*c.out = res.Throughput
+	}
+	return row, nil
+}
+
+// PrintWALAblation formats the comparison.
+func PrintWALAblation(w io.Writer, row WALAblationRow) {
+	fmt.Fprintf(w, "# WAL ablation: vote collection with durable runtime state off vs on\n")
+	fmt.Fprintf(w, "%-28s %-18s\n", "configuration", "throughput(op/s)")
+	fmt.Fprintf(w, "%-28s %-18.1f\n", "memory-only", row.Off)
+	fmt.Fprintf(w, "%-28s %-18.1f\n", "wal+snapshot (batched sync)", row.On)
+	fmt.Fprintf(w, "durability tax: on/off = %.3f\n", row.Ratio())
+}
+
 // Fig5c runs the phase-duration breakdown.
 func Fig5c(w io.Writer, casts []int, options, clients int) error {
 	fmt.Fprintf(w, "# Fig5c: phase durations vs ballots cast (m=%d, 4 VC, 3 BB, 3 trustees)\n", options)

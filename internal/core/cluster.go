@@ -15,6 +15,7 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -70,6 +71,17 @@ type Options struct {
 	Stores map[int]store.Store
 	// Workers sizes each VC node's message-processing pool.
 	Workers int
+	// DataDir, when set, gives every VC node a durable runtime-state
+	// journal (WAL + snapshot) under <DataDir>/vc-<i>, recovered at
+	// construction — the paper's crash-and-rejoin deployment property.
+	// RestartVC relaunches nodes from it in place.
+	DataDir string
+	// Fsync makes journaled nodes sync before every ack instead of on the
+	// batched group-commit cadence.
+	Fsync bool
+	// SnapshotEvery overrides the journal's snapshot threshold (records
+	// between snapshot+truncate cycles; 0 = default).
+	SnapshotEvery int
 }
 
 // Cluster is a fully wired in-process election deployment.
@@ -84,6 +96,13 @@ type Cluster struct {
 
 	fake *clock.Fake
 	sim  *sim.Driver
+	opts Options // retained for in-place node restarts
+
+	// vcMu guards VCs against in-place restarts swapping entries. Code
+	// paths that never run concurrently with RestartVC (benchmark
+	// workloads, phase drivers) may read the slice directly; anything that
+	// can race a restart goes through VC(i).
+	vcMu sync.RWMutex
 
 	// PhaseDurations records the measured wall time of each completed
 	// phase, keyed by phase name (Fig. 5c).
@@ -136,42 +155,14 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 
 	// VC nodes.
 	man := data.Manifest
+	c.opts = opts
+	c.VCs = make([]*vc.Node, man.NumVC)
 	for i := 0; i < man.NumVC; i++ {
-		// Endpoint stack: network → Signed → Batcher, so a coalesced batch
-		// is framed and signed exactly once (DESIGN.md, "Batched message
-		// pipeline").
-		var ep transport.Endpoint = c.Net.Endpoint(transport.NodeID(i)) //nolint:gosec // <=64
-		if opts.Authenticated {
-			pubs := make(map[transport.NodeID]ed25519.PublicKey, man.NumVC)
-			for j, p := range man.VCPublics {
-				pubs[transport.NodeID(j)] = p //nolint:gosec // <=64
-			}
-			ep = transport.NewSigned(ep, data.VC[i].Private, pubs)
-		}
-		if opts.BatchWindow > 0 {
-			bopts := transport.BatcherOptions{
-				Window:      opts.BatchWindow,
-				MaxMessages: opts.BatchMaxMessages,
-			}
-			if c.sim != nil {
-				bopts.Timers = c.sim
-			}
-			ep = transport.NewBatcher(ep, bopts)
-		}
-		node, err := vc.New(vc.Config{
-			Init:      data.VC[i],
-			Store:     opts.Stores[i],
-			Endpoint:  ep,
-			Clock:     c.Clock,
-			Coin:      consensus.NewHashCoin([]byte(man.ElectionID)),
-			Byzantine: opts.VCByzantine[i],
-			Workers:   opts.Workers,
-		})
+		node, err := c.buildVC(i)
 		if err != nil {
-			return nil, fmt.Errorf("core: building vc %d: %w", i, err)
+			return nil, err
 		}
-		node.Start()
-		c.VCs = append(c.VCs, node)
+		c.VCs[i] = node
 	}
 
 	// BB nodes (skipped in VC-only setups).
@@ -203,9 +194,67 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// buildVC constructs, recovers (when DataDir is set) and starts VC node i —
+// shared by construction and in-place restart.
+func (c *Cluster) buildVC(i int) (*vc.Node, error) {
+	data, opts, man := c.Data, c.opts, c.Data.Manifest
+	// Endpoint stack: network → Signed → Batcher, so a coalesced batch
+	// is framed and signed exactly once (DESIGN.md, "Batched message
+	// pipeline").
+	var ep transport.Endpoint = c.Net.Endpoint(transport.NodeID(i)) //nolint:gosec // <=64
+	if opts.Authenticated {
+		pubs := make(map[transport.NodeID]ed25519.PublicKey, man.NumVC)
+		for j, p := range man.VCPublics {
+			pubs[transport.NodeID(j)] = p //nolint:gosec // <=64
+		}
+		ep = transport.NewSigned(ep, data.VC[i].Private, pubs)
+	}
+	if opts.BatchWindow > 0 {
+		bopts := transport.BatcherOptions{
+			Window:      opts.BatchWindow,
+			MaxMessages: opts.BatchMaxMessages,
+		}
+		if c.sim != nil {
+			bopts.Timers = c.sim
+		}
+		ep = transport.NewBatcher(ep, bopts)
+	}
+	node, err := vc.New(vc.Config{
+		Init:      data.VC[i],
+		Store:     opts.Stores[i],
+		Endpoint:  ep,
+		Clock:     c.Clock,
+		Coin:      consensus.NewHashCoin([]byte(man.ElectionID)),
+		Byzantine: opts.VCByzantine[i],
+		Workers:   opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building vc %d: %w", i, err)
+	}
+	if opts.DataDir != "" {
+		dir := filepath.Join(opts.DataDir, fmt.Sprintf("vc-%d", i))
+		jopts := vc.JournalOptions{Fsync: opts.Fsync, SnapshotEvery: opts.SnapshotEvery}
+		if err := node.RecoverWithOptions(dir, jopts); err != nil {
+			return nil, fmt.Errorf("core: recovering vc %d: %w", i, err)
+		}
+	}
+	node.Start()
+	return node, nil
+}
+
+// VC returns the current incarnation of VC node i (restarts swap it).
+func (c *Cluster) VC(i int) *vc.Node {
+	c.vcMu.RLock()
+	defer c.vcMu.RUnlock()
+	return c.VCs[i]
+}
+
 // Stop shuts everything down.
 func (c *Cluster) Stop() {
-	for _, n := range c.VCs {
+	c.vcMu.RLock()
+	nodes := append([]*vc.Node(nil), c.VCs...)
+	c.vcMu.RUnlock()
+	for _, n := range nodes {
 		n.Stop()
 	}
 	_ = c.Net.Close()
@@ -221,11 +270,41 @@ func (c *Cluster) RestoreVC(index int) {
 	c.Net.Isolate(transport.NodeID(index), false) //nolint:gosec // <=64
 }
 
+// StopVC hard-stops a VC node: goroutines halted, volatile state dropped —
+// process death, as opposed to CrashVC's network isolation. With DataDir
+// set, RestartVC brings it back from its journal.
+func (c *Cluster) StopVC(index int) {
+	c.VC(index).Stop()
+}
+
+// RestartVC relaunches a (typically stopped) VC node in place: a fresh
+// incarnation on the same network identity, its runtime ballot state
+// recovered from the node's WAL + snapshot. Without a DataDir the node
+// comes back empty — the paper's permanent-crash regime.
+func (c *Cluster) RestartVC(index int) error {
+	c.VC(index).Stop() // idempotent if already stopped
+	node, err := c.buildVC(index)
+	if err != nil {
+		return err
+	}
+	c.vcMu.Lock()
+	c.VCs[index] = node
+	c.vcMu.Unlock()
+	return nil
+}
+
 // Crash implements sim.Surface (scenario-driven fault schedules).
 func (c *Cluster) Crash(index int) { c.CrashVC(index) }
 
 // Restore implements sim.Surface.
 func (c *Cluster) Restore(index int) { c.RestoreVC(index) }
+
+// StopNode implements sim.Restarter.
+func (c *Cluster) StopNode(index int) { c.StopVC(index) }
+
+// RestartNode implements sim.Restarter; a failed restart leaves the node
+// stopped (the scenario then observes a permanent crash).
+func (c *Cluster) RestartNode(index int) { _ = c.RestartVC(index) }
 
 // Partition implements sim.Surface: block (or heal) traffic between two VC
 // nodes.
@@ -263,9 +342,12 @@ func (c *Cluster) RunVoteSetConsensus(ctx context.Context, skip map[int]bool) (m
 		set []vc.VotedBallot
 		err error
 	}
-	results := make([]res, len(c.VCs))
+	c.vcMu.RLock()
+	vcs := append([]*vc.Node(nil), c.VCs...)
+	c.vcMu.RUnlock()
+	results := make([]res, len(vcs))
 	var wg sync.WaitGroup
-	for i, n := range c.VCs {
+	for i, n := range vcs {
 		if skip[i] {
 			continue
 		}
@@ -278,7 +360,7 @@ func (c *Cluster) RunVoteSetConsensus(ctx context.Context, skip map[int]bool) (m
 	}
 	wg.Wait()
 	c.recordPhase(PhaseVoteSetConsensus, time.Since(start))
-	sets := make(map[int][]vc.VotedBallot, len(c.VCs))
+	sets := make(map[int][]vc.VotedBallot, len(vcs))
 	var firstErr error
 	for i := range results {
 		if skip[i] {
@@ -309,7 +391,10 @@ func (c *Cluster) PushToBB(sets map[int][]vc.VotedBallot) error {
 		return errors.New("core: cluster has no BB nodes")
 	}
 	start := time.Now()
-	for i, n := range c.VCs {
+	c.vcMu.RLock()
+	vcs := append([]*vc.Node(nil), c.VCs...)
+	c.vcMu.RUnlock()
+	for i, n := range vcs {
 		set, ok := sets[i]
 		if !ok {
 			continue

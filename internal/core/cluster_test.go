@@ -147,6 +147,73 @@ func TestFullElectionPipeline(t *testing.T) {
 	}
 }
 
+// TestElectionSurvivesVCRestart crashes a journaled VC node mid-election —
+// a hard stop, volatile state gone — restarts it from its WAL/snapshot, and
+// requires the election to complete with the restarted node participating:
+// its pre-crash receipts reproduce byte-identically, it serves as responder
+// again, and it joins vote-set consensus with its recovered certified set.
+func TestElectionSurvivesVCRestart(t *testing.T) {
+	data := testData(t, 6)
+	c, err := NewCluster(data, Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	start := time.Now()
+	// Phase 1: ballots 0 and 1, with node 1 the responder for ballot 0.
+	cast := func(ballotIdx, opt, at int) *voter.CastResult {
+		t.Helper()
+		cl := &voter.Client{
+			Ballot:   c.Data.Ballots[ballotIdx],
+			Services: []voter.Service{c.VC(at)},
+			Patience: 5 * time.Second,
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		res, err := cl.Cast(ctx, opt)
+		if err != nil {
+			t.Fatalf("ballot %d at vc %d: %v", ballotIdx, at, err)
+		}
+		return res
+	}
+	r0 := cast(0, 0, 1)
+	cast(1, 1, 0)
+
+	// Phase 2: node 1 dies. Collection continues — fv=1 of Nv=4.
+	c.StopVC(1)
+	cast(2, 2, 0)
+	cast(3, 0, 2)
+
+	// Phase 3: node 1 comes back from its journal.
+	if err := c.RestartVC(1); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-crash receipt reproduces at the restarted node, from recovered
+	// state alone (same code, same ballot — the Voted fast path).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	r0again, err := c.VC(1).SubmitVote(ctx, r0.Serial, r0.Code)
+	cancel()
+	if err != nil {
+		t.Fatalf("resubmission at restarted node: %v", err)
+	}
+	if string(r0again) != string(r0.Receipt) {
+		t.Fatalf("receipt changed across restart: %x != %x", r0again, r0.Receipt)
+	}
+	// The restarted node serves as responder for a fresh ballot.
+	cast(4, 1, 1)
+	c.RecordVoteCollection(time.Since(start))
+
+	// The pipeline completes with the restarted node in consensus.
+	pctx, pcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer pcancel()
+	res, err := c.RunPipeline(pctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts(t, res, []int64{2, 2, 1})
+}
+
 func TestElectionWithAllFaultsAtThreshold(t *testing.T) {
 	// Simultaneously: 1 Byzantine VC of 4 (fv=1), 1 lying BB of 3 (fb=1),
 	// 1 garbage trustee of 3 (ht=2). The election must still complete,

@@ -12,8 +12,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"ddemos/internal/bb"
@@ -86,14 +88,74 @@ func VCHandler(node *vc.Node) http.Handler {
 	return mux
 }
 
+// Timeouts separates connection establishment from whole-request deadlines.
+// A recovering or restarting node should fail fast at dial time (so clients
+// rotate to a live node) while still allowing a slow-but-progressing
+// request its full budget; a single flat client timeout cannot express
+// that, and retries against a dead node then pile up for the whole flat
+// window.
+type Timeouts struct {
+	// Dial bounds TCP connection establishment (default 3s for VC voting,
+	// 5s for BB reads).
+	Dial time.Duration
+	// Request bounds the whole request including body (default 30s for VC
+	// voting, 60s for BB reads); a caller context with an earlier deadline
+	// wins.
+	Request time.Duration
+}
+
+func (t Timeouts) withDefaults(dial, request time.Duration) Timeouts {
+	if t.Dial <= 0 {
+		t.Dial = dial
+	}
+	if t.Request <= 0 {
+		t.Request = request
+	}
+	return t
+}
+
+// newHTTPClient builds a client with a dedicated dial timeout; the overall
+// deadline rides on each request's context instead of client.Timeout, so
+// caller contexts compose. Built once per VCClient/BBClient (not per
+// request): the transport owns the keep-alive connection pool, and a fresh
+// transport every call would strand one idle connection per request.
+func newHTTPClient(dial time.Duration) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: dial}).DialContext,
+			TLSHandshakeTimeout: dial,
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// requestCtx bounds ctx by the request timeout (an earlier caller deadline
+// wins).
+func requestCtx(ctx context.Context, request time.Duration) (context.Context, context.CancelFunc) {
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < request {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, request)
+}
+
 // VCClient is a voter.Service over HTTP.
 type VCClient struct {
 	BaseURL string
-	HTTP    *http.Client
+	// HTTP overrides the transport entirely (Timeouts.Dial then unused).
+	HTTP *http.Client
+	// Timeouts tunes dial vs whole-request deadlines (zero = defaults).
+	Timeouts Timeouts
+
+	clientOnce sync.Once
+	client     *http.Client
 }
 
 // SubmitVote implements voter.Service.
 func (c *VCClient) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]byte, error) {
+	to := c.Timeouts.withDefaults(3*time.Second, 30*time.Second)
+	ctx, cancel := requestCtx(ctx, to.Request)
+	defer cancel()
 	body, err := json.Marshal(VoteRequest{Serial: serial, Code: hex.EncodeToString(code)})
 	if err != nil {
 		return nil, err
@@ -103,7 +165,7 @@ func (c *VCClient) SubmitVote(ctx context.Context, serial uint64, code []byte) (
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.httpClient(to).Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: vote: %w", err)
 	}
@@ -124,11 +186,12 @@ func (c *VCClient) SubmitVote(ctx context.Context, serial uint64, code []byte) (
 	return hex.DecodeString(vr.Receipt)
 }
 
-func (c *VCClient) httpClient() *http.Client {
+func (c *VCClient) httpClient(to Timeouts) *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	c.clientOnce.Do(func() { c.client = newHTTPClient(to.Dial) })
+	return c.client
 }
 
 // --- BB read/write API -------------------------------------------------------
@@ -202,23 +265,65 @@ type VoteSetSubmission struct {
 }
 
 // BBClient implements bb.API over HTTP, so bb.Reader (the majority reader)
-// works transparently against remote nodes.
+// works transparently against remote nodes. Every request is context-aware
+// (Ctx bounds all calls; bb.API itself is context-free) with separate dial
+// and whole-request deadlines, so election-end pushes retried against a
+// restarting node fail fast instead of piling up.
 type BBClient struct {
 	BaseURL string
-	HTTP    *http.Client
+	// HTTP overrides the transport entirely (Timeouts.Dial then unused).
+	HTTP *http.Client
+	// Timeouts tunes dial vs whole-request deadlines (zero = defaults).
+	Timeouts Timeouts
+	// Ctx, when set, bounds every request (bb.API methods take no context).
+	Ctx context.Context
+
+	clientOnce sync.Once
+	client     *http.Client
 }
 
 var _ bb.API = (*BBClient)(nil)
 
-func (c *BBClient) get(path string, v any) error {
-	client := c.HTTP
-	if client == nil {
-		client = &http.Client{Timeout: 60 * time.Second}
+func (c *BBClient) baseCtx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
 	}
-	resp, err := client.Get(c.BaseURL + path)
+	return context.Background()
+}
+
+func (c *BBClient) httpClient(to Timeouts) *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	c.clientOnce.Do(func() { c.client = newHTTPClient(to.Dial) })
+	return c.client
+}
+
+func (c *BBClient) do(method, path, contentType string, body io.Reader) (*http.Response, context.CancelFunc, error) {
+	to := c.Timeouts.withDefaults(5*time.Second, 60*time.Second)
+	ctx, cancel := requestCtx(c.baseCtx(), to.Request)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient(to).Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
+}
+
+func (c *BBClient) get(path string, v any) error {
+	resp, cancel, err := c.do(http.MethodGet, path, "", nil)
 	if err != nil {
 		return fmt.Errorf("httpapi: get %s: %w", path, err)
 	}
+	defer cancel()
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
@@ -232,14 +337,11 @@ func (c *BBClient) post(path string, v any) error {
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return err
 	}
-	client := c.HTTP
-	if client == nil {
-		client = &http.Client{Timeout: 60 * time.Second}
-	}
-	resp, err := client.Post(c.BaseURL+path, "application/octet-stream", &buf)
+	resp, cancel, err := c.do(http.MethodPost, path, "application/octet-stream", &buf)
 	if err != nil {
 		return fmt.Errorf("httpapi: post %s: %w", path, err)
 	}
+	defer cancel()
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))

@@ -190,3 +190,48 @@ func TestGobFileRoundTrip(t *testing.T) {
 		t.Fatal("missing file must fail")
 	}
 }
+
+// TestClientTimeoutsSeparateDialFromRequest verifies the two-deadline
+// client model: a dead address fails within the dial budget (not the whole
+// request budget), and a caller context that is already cancelled aborts a
+// request immediately.
+func TestClientTimeoutsSeparateDialFromRequest(t *testing.T) {
+	// 192.0.2.0/24 is TEST-NET-1: packets go nowhere, so the dial hangs
+	// until its own timeout — exactly the recovery-retry pile-up scenario.
+	dead := &VCClient{
+		BaseURL:  "http://192.0.2.1:9",
+		Timeouts: Timeouts{Dial: 150 * time.Millisecond, Request: 30 * time.Second},
+	}
+	start := time.Now()
+	_, err := dead.SubmitVote(context.Background(), 1, []byte("code"))
+	if err == nil {
+		t.Fatal("vote against a dead address must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial failure took %v: dial timeout did not apply", elapsed)
+	}
+
+	deadBB := &BBClient{
+		BaseURL:  "http://192.0.2.1:9",
+		Timeouts: Timeouts{Dial: 150 * time.Millisecond, Request: 30 * time.Second},
+	}
+	start = time.Now()
+	if _, err := deadBB.Manifest(); err == nil {
+		t.Fatal("read against a dead address must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bb dial failure took %v: dial timeout did not apply", elapsed)
+	}
+
+	// A caller context deadline earlier than the request budget wins.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dead.SubmitVote(ctx, 1, []byte("code")); err == nil {
+		t.Fatal("cancelled context must abort the vote")
+	}
+	cancelledBB := &BBClient{BaseURL: "http://192.0.2.1:9", Ctx: ctx,
+		Timeouts: Timeouts{Dial: time.Second, Request: time.Second}}
+	if _, err := cancelledBB.Manifest(); err == nil {
+		t.Fatal("cancelled base context must abort bb reads")
+	}
+}

@@ -20,6 +20,19 @@ type Surface interface {
 	Partition(a, b int, on bool)
 }
 
+// Restarter is the optional Surface extension for crash-restart scenarios:
+// unlike Crash/Restore (a network-level isolation that preserves volatile
+// state), StopNode kills the node outright — goroutines stopped, memory
+// gone — and RestartNode relaunches it from whatever it persisted. Surfaces
+// without durable state can fall back to isolation semantics (Install does
+// so automatically when the surface does not implement this).
+type Restarter interface {
+	// StopNode hard-stops node i, losing all volatile state.
+	StopNode(i int)
+	// RestartNode relaunches a stopped node from its persisted state.
+	RestartNode(i int)
+}
+
 // FaultKind is one scheduled fault type.
 type FaultKind uint8
 
@@ -33,6 +46,12 @@ const (
 	FaultPartitionForm
 	// FaultPartitionHeal restores traffic between two nodes.
 	FaultPartitionHeal
+	// FaultStop kills a node outright: process death, volatile state lost
+	// (Restarter surfaces only; degrades to FaultCrash otherwise).
+	FaultStop
+	// FaultRestart relaunches a stopped node from its persisted state —
+	// the crash-recovery scenario class the durable VC journal enables.
+	FaultRestart
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +65,10 @@ func (k FaultKind) String() string {
 		return "partition"
 	case FaultPartitionHeal:
 		return "heal"
+	case FaultStop:
+		return "stop"
+	case FaultRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", uint8(k))
 	}
@@ -86,6 +109,12 @@ type ScenarioConfig struct {
 	// MaxPartitions bounds partition form/heal pairs (default 2; negative
 	// disables partitions entirely).
 	MaxPartitions int
+	// MaxRestartWindows bounds stop/restart pairs (default 0: crash-restart
+	// scenarios opt in, because they require a Restarter surface with
+	// per-node durable state to be meaningful). Restart windows are drawn
+	// over nodes not already used by crash windows, so the two levers
+	// never fight over one node.
+	MaxRestartWindows int
 }
 
 func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
@@ -147,14 +176,31 @@ func RandomScenario(seed uint64, cfg ScenarioConfig) Scenario {
 	// pairs: Surface.Crash/Partition are boolean levers with no nesting
 	// count, so two overlapping windows on the same target would let the
 	// inner window's heal cut the outer one short.
+	crashed := 0
+	var perm []int
 	if cfg.NumNodes >= 1 {
 		n := min(rng.IntN(cfg.MaxCrashWindows+1), cfg.NumNodes)
-		perm := rng.Perm(cfg.NumNodes)
+		perm = rng.Perm(cfg.NumNodes)
 		for i := 0; i < n; i++ {
 			from, to := window()
 			s.Faults = append(s.Faults,
 				Fault{At: from, Kind: FaultCrash, A: perm[i]},
 				Fault{At: to, Kind: FaultRestore, A: perm[i]})
+		}
+		crashed = n
+	}
+	// Restart windows (opt-in): a node dies mid-schedule and comes back
+	// from its persisted state before the schedule ends. Drawn only when
+	// MaxRestartWindows > 0, so the rng stream — and therefore every
+	// schedule generated by older configs — is unchanged.
+	if cfg.MaxRestartWindows > 0 && cfg.NumNodes > crashed {
+		avail := perm[crashed:]
+		n := min(rng.IntN(cfg.MaxRestartWindows+1), len(avail))
+		for i := 0; i < n; i++ {
+			from, to := window()
+			s.Faults = append(s.Faults,
+				Fault{At: from, Kind: FaultStop, A: avail[i]},
+				Fault{At: to, Kind: FaultRestart, A: avail[i]})
 		}
 	}
 	if cfg.NumNodes >= 2 { // partitions need two distinct nodes
@@ -189,7 +235,10 @@ func (s Scenario) IsByzantine(i int) bool {
 
 // Install schedules every fault onto d as a labeled event against target.
 // Call before starting traffic so trace sequence numbers are deterministic.
+// Stop/restart faults need a Restarter surface; on a plain Surface they
+// degrade to isolation (crash/restore) semantics.
 func (s Scenario) Install(d *Driver, target Surface) {
+	restarter, _ := target.(Restarter)
 	for _, f := range s.Faults {
 		f := f
 		d.Schedule(f.At, f.Label(), func() {
@@ -202,6 +251,18 @@ func (s Scenario) Install(d *Driver, target Surface) {
 				target.Partition(f.A, f.B, true)
 			case FaultPartitionHeal:
 				target.Partition(f.A, f.B, false)
+			case FaultStop:
+				if restarter != nil {
+					restarter.StopNode(f.A)
+				} else {
+					target.Crash(f.A)
+				}
+			case FaultRestart:
+				if restarter != nil {
+					restarter.RestartNode(f.A)
+				} else {
+					target.Restore(f.A)
+				}
 			}
 		})
 	}

@@ -18,7 +18,7 @@ import (
 //	header: magic "DDVC" | version u16 | m u16 | firstSerial u64 | count u64
 //	then count records of 2*m lines, each line Hash(32)|Salt(8)|Share(32)|Sig(64)
 type Disk struct {
-	mu          sync.Mutex
+	mu          sync.RWMutex // guards f against Close racing Get
 	f           *os.File
 	m           int // options per part
 	firstSerial uint64
@@ -42,6 +42,9 @@ func CreateDisk(path string, ballots []*BallotData) (*Disk, error) {
 		return nil, fmt.Errorf("store: no ballots to write")
 	}
 	m := len(ballots[0].Lines[0])
+	if m == 0 || m > maxDiskLines {
+		return nil, fmt.Errorf("store: invalid option count %d", m)
+	}
 	first := ballots[0].Serial
 	f, err := os.Create(path)
 	if err != nil {
@@ -114,18 +117,44 @@ func OpenDisk(path string) (*Disk, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("store: invalid option count %d", m)
 	}
+	count := binary.BigEndian.Uint64(header[16:])
+	// Validate the size now, so a truncated or padded store surfaces here
+	// as a clear error instead of as a confusing ReadAt failure at vote
+	// time (or as silently unreadable trailing ballots).
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	if count > uint64(1)<<40/uint64(2*m*lineSize) {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: implausible ballot count %d", count)
+	}
+	want := int64(headerSize) + int64(count)*int64(2*m*lineSize) //nolint:gosec // bounded above
+	if st.Size() != want {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: %s holds %d bytes, want %d for %d ballots of %d options",
+			path, st.Size(), want, count, m)
+	}
 	return &Disk{
 		f:           f,
 		m:           m,
 		firstSerial: binary.BigEndian.Uint64(header[8:]),
-		count:       binary.BigEndian.Uint64(header[16:]),
+		count:       count,
 	}, nil
 }
 
-// Get implements Store via one positional read.
+// Get implements Store via one positional read. Concurrent Gets share the
+// read lock; only Close takes it exclusively, so a Get racing Close returns
+// a clean error instead of dereferencing a nil file.
 func (d *Disk) Get(serial uint64) (*BallotData, error) {
 	if serial < d.firstSerial || serial >= d.firstSerial+d.count {
 		return nil, fmt.Errorf("%w: serial %d", ErrNotFound, serial)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.f == nil {
+		return nil, fmt.Errorf("store: read serial %d: store closed", serial)
 	}
 	recSize := int64(2 * d.m * lineSize)
 	off := int64(headerSize) + int64(serial-d.firstSerial)*recSize

@@ -171,6 +171,73 @@ func TestDiskStoreConcurrentReads(t *testing.T) {
 	}
 }
 
+func TestOpenDiskRejectsTruncatedStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.store")
+	ballots := makeBallots(t, 1, 10, 3)
+	d, err := CreateDisk(path, ballots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut half a record off the tail: the header still promises 10 ballots.
+	if err := os.WriteFile(path, data[:len(data)-50], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Fatal("truncated store must be rejected at open, not at read time")
+	}
+	// Padding is just as wrong: trailing junk means the count lies.
+	if err := os.WriteFile(path, append(data, 0xFF), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Fatal("padded store must be rejected at open")
+	}
+}
+
+func TestDiskGetAfterCloseFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.store")
+	d, err := CreateDisk(path, makeBallots(t, 1, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(1); err == nil {
+		t.Fatal("get on a closed store must error, not crash")
+	}
+}
+
+// TestDiskGetCloseRace drives Get concurrently with Close: every Get must
+// either succeed or return an error — never nil-deref the closed file.
+func TestDiskGetCloseRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "race.store")
+	d, err := CreateDisk(path, makeBallots(t, 1, 50, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				_, _ = d.Get((seed+i)%50 + 1)
+			}
+		}(uint64(g))
+	}
+	_ = d.Close()
+	wg.Wait()
+}
+
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o600)
 }

@@ -126,11 +126,13 @@ func (n *Memnet) Stats() (msgs, bytes int64) {
 	return n.totalSent, n.totalBytes
 }
 
-// Endpoint registers (or returns) the endpoint for id.
+// Endpoint registers (or returns) the endpoint for id. A closed endpoint is
+// replaced by a fresh one — a restarted node re-attaches under its old
+// identity, exactly like a process rebinding its listen address.
 func (n *Memnet) Endpoint(id NodeID) Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if ep, ok := n.eps[id]; ok {
+	if ep, ok := n.eps[id]; ok && !ep.isDead() {
 		return ep
 	}
 	ep := &memEndpoint{
@@ -241,6 +243,13 @@ var _ Endpoint = (*memEndpoint)(nil)
 
 // ID implements Endpoint.
 func (e *memEndpoint) ID() NodeID { return e.id }
+
+// isDead reports whether Close was called.
+func (e *memEndpoint) isDead() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
+}
 
 // Send implements Endpoint.
 func (e *memEndpoint) Send(to NodeID, payload []byte) error {

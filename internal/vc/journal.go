@@ -1,0 +1,523 @@
+package vc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ddemos/internal/crypto/group"
+	"ddemos/internal/store"
+	"ddemos/internal/wire"
+)
+
+// This file is the durable-runtime-state layer of a VC node. The paper's
+// deployment keeps per-ballot protocol state in PostgreSQL so a crashed
+// Vote Collector rejoins within the fault bound (§V); here the same role is
+// played by a write-ahead log of ballot state transitions plus a periodic
+// snapshot (both store.WAL-framed files in one data directory).
+//
+// Every externally visible promise is journaled before it is made: the
+// endorsed code before the ENDORSEMENT reply, the pending binding and
+// disclosed share before VOTE_P, the receipt before it is released to a
+// waiter, the agreed vote set before it is returned. Records are *facts*
+// (monotone transitions), so replay is order-independent and idempotent:
+// applying a record the state already reflects is a no-op. That makes
+// snapshot+log disagreement benign — a crash between snapshot rename and
+// log truncation replays records the snapshot already covers — and lets
+// call sites append outside the ballot locks.
+//
+// Record kinds (payload layout, big-endian; "bytes" = u32 length prefix):
+//
+//	endorsed:  kind u8 | serial u64 | code bytes
+//	ucert:     kind u8 | serial u64 | cert
+//	pending:   kind u8 | serial u64 | code bytes | part u8 | row u32 | cert
+//	share:     kind u8 | serial u64 | index u32 | value bytes
+//	voted:     kind u8 | serial u64 | code bytes | receipt bytes
+//	vsc:       kind u8 | count u32 | { serial u64 | code bytes }*
+const (
+	recEndorsed byte = iota + 1
+	recUCert
+	recPending
+	recShare
+	recVoted
+	recVSC
+)
+
+// Journal file names inside a node's data directory.
+const (
+	journalWALFile      = "wal"
+	journalSnapshotFile = "snapshot"
+)
+
+// JournalOptions tunes a node's persistence layer.
+type JournalOptions struct {
+	// Fsync syncs the log before every ack instead of on the batched
+	// cadence: per-transition durability against power loss (process
+	// crashes never lose acked state either way, since records hit the OS
+	// before the ack).
+	Fsync bool
+	// SyncEvery is the group-commit cadence when Fsync is off (default
+	// 2ms, the same order as the transport batch flush window, so journal
+	// syncs coalesce with message batches).
+	SyncEvery time.Duration
+	// SnapshotEvery triggers a snapshot + log truncation after this many
+	// appended records (default 4096).
+	SnapshotEvery int
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 4096
+	}
+	return o
+}
+
+// Journal is the WAL + snapshot pair backing one node's runtime state.
+type Journal struct {
+	dir  string
+	opts JournalOptions
+	// mu gates appends against snapshots: Snapshot holds it across
+	// state-capture + snapshot-write + log-truncation, so no record can
+	// land after the capture and vanish in the truncation. Appenders
+	// therefore must never hold a ballot/shard/vsc lock while appending —
+	// the state capture takes those.
+	mu  sync.Mutex
+	wal *store.WAL
+}
+
+// OpenJournal opens (creating if needed) the data directory and its log,
+// truncating any torn tail left by a crash.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("vc: journal dir %s: %w", dir, err)
+	}
+	wal, err := store.OpenWAL(filepath.Join(dir, journalWALFile), store.WALOptions{
+		SyncEvery:      opts.SyncEvery,
+		SyncEachAppend: opts.Fsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{dir: dir, opts: opts.withDefaults(), wal: wal}, nil
+}
+
+// Dir returns the journal's data directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Replay streams every persisted record — snapshot first, then the log —
+// into fn.
+func (j *Journal) Replay(fn func(payload []byte) error) error {
+	if _, err := store.ReplayWAL(filepath.Join(j.dir, journalSnapshotFile), fn); err != nil {
+		return err
+	}
+	_, err := store.ReplayWAL(filepath.Join(j.dir, journalWALFile), fn)
+	return err
+}
+
+// Append logs records, reporting whether the log has grown past the
+// snapshot threshold (the caller then runs Snapshot; a late or skipped
+// snapshot costs replay time, never correctness).
+func (j *Journal) Append(recs [][]byte) (snapshotDue bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.wal.AppendBatch(recs); err != nil {
+		return false, err
+	}
+	return j.wal.Records() >= int64(j.opts.SnapshotEvery), nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (j *Journal) Sync() error { return j.wal.Sync() }
+
+// Snapshot atomically replaces the snapshot file with the records produced
+// by state and truncates the log. Appends are blocked for the duration, so
+// the capture covers every logged transition; a crash between the snapshot
+// rename and the truncation merely replays records the snapshot already
+// holds (harmless: application is idempotent).
+func (j *Journal) Snapshot(state func() [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := store.WriteWALFile(filepath.Join(j.dir, journalSnapshotFile), state()); err != nil {
+		return err
+	}
+	return j.wal.Reset()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error { return j.wal.Close() }
+
+// --- record encoding -------------------------------------------------------
+
+func jAppendBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b))) //nolint:gosec // protocol-bounded
+	return append(dst, b...)
+}
+
+func encEndorsed(serial uint64, code []byte) []byte {
+	dst := append(make([]byte, 0, 16+len(code)), recEndorsed)
+	dst = binary.BigEndian.AppendUint64(dst, serial)
+	return jAppendBytes(dst, code)
+}
+
+func encUCert(serial uint64, cert *wire.UCert) []byte {
+	dst := []byte{recUCert}
+	dst = binary.BigEndian.AppendUint64(dst, serial)
+	return append(dst, wire.MarshalUCert(cert)...)
+}
+
+func encPending(serial uint64, code []byte, part uint8, row int, cert *wire.UCert) []byte {
+	dst := []byte{recPending}
+	dst = binary.BigEndian.AppendUint64(dst, serial)
+	dst = jAppendBytes(dst, code)
+	dst = append(dst, part)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(row)) //nolint:gosec // row < m
+	return append(dst, wire.MarshalUCert(cert)...)
+}
+
+func encShare(serial uint64, index uint32, value *big.Int) []byte {
+	dst := []byte{recShare}
+	dst = binary.BigEndian.AppendUint64(dst, serial)
+	dst = binary.BigEndian.AppendUint32(dst, index)
+	return jAppendBytes(dst, group.ScalarBytes(value))
+}
+
+func encVoted(serial uint64, code, receipt []byte) []byte {
+	dst := []byte{recVoted}
+	dst = binary.BigEndian.AppendUint64(dst, serial)
+	dst = jAppendBytes(dst, code)
+	return jAppendBytes(dst, receipt)
+}
+
+func encVSC(set []VotedBallot) []byte {
+	dst := []byte{recVSC}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(set))) //nolint:gosec // protocol-bounded
+	for _, vb := range set {
+		dst = binary.BigEndian.AppendUint64(dst, vb.Serial)
+		dst = jAppendBytes(dst, vb.Code)
+	}
+	return dst
+}
+
+// jdec is a cursor over one record payload.
+type jdec struct {
+	buf []byte
+	bad bool
+}
+
+func (d *jdec) u8() byte {
+	if d.bad || len(d.buf) < 1 {
+		d.bad = true
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *jdec) u32() uint32 {
+	if d.bad || len(d.buf) < 4 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *jdec) u64() uint64 {
+	if d.bad || len(d.buf) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *jdec) bytes() []byte {
+	n := d.u32()
+	if d.bad || uint64(n) > uint64(len(d.buf)) {
+		d.bad = true
+		return nil
+	}
+	out := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *jdec) cert() *wire.UCert {
+	if d.bad {
+		return nil
+	}
+	u, rest, err := wire.UnmarshalUCert(d.buf)
+	if err != nil {
+		d.bad = true
+		return nil
+	}
+	d.buf = rest
+	return &u
+}
+
+// errBadRecord wraps journal decode failures (CRC passed but the payload
+// does not parse: version skew or a foreign file).
+var errBadRecord = errors.New("vc: malformed journal record")
+
+// --- node recovery ---------------------------------------------------------
+
+// Recover rebuilds the node's runtime ballot state from the snapshot and
+// write-ahead log in dir (both may be absent on first boot) and attaches
+// the journal so every later transition is logged there. It must be called
+// after New and before Start. Recovery is idempotent: recovering the same
+// directory twice yields an identical StateHash.
+func (n *Node) Recover(dir string) error {
+	return n.RecoverWithOptions(dir, JournalOptions{})
+}
+
+// RecoverWithOptions is Recover with explicit durability tuning.
+func (n *Node) RecoverWithOptions(dir string, opts JournalOptions) error {
+	j, err := OpenJournal(dir, opts)
+	if err != nil {
+		return err
+	}
+	if err := j.Replay(n.applyJournalRecord); err != nil {
+		_ = j.Close()
+		return err
+	}
+	n.finishRecovery()
+	n.journal = j
+	return nil
+}
+
+// applyJournalRecord applies one persisted transition. Application is
+// idempotent and order-independent: every record is a monotone fact, so
+// duplicates and stale records (snapshot+log overlap, interleaved append
+// order across goroutines) are no-ops.
+func (n *Node) applyJournalRecord(payload []byte) error {
+	d := &jdec{buf: payload}
+	kind := d.u8()
+	if kind == recVSC {
+		cnt := d.u32()
+		if d.bad || uint64(cnt) > uint64(n.manifest.NumBallots) {
+			return errBadRecord
+		}
+		set := make([]VotedBallot, 0, cnt)
+		for i := uint32(0); i < cnt; i++ {
+			set = append(set, VotedBallot{Serial: d.u64(), Code: d.bytes()})
+		}
+		if d.bad || len(d.buf) != 0 {
+			return errBadRecord
+		}
+		n.vscMu.Lock()
+		if !n.vscDone {
+			n.vscDone = true
+			n.vscResult = set
+		}
+		n.vscMu.Unlock()
+		return nil
+	}
+	serial := d.u64()
+	if d.bad || serial == 0 || serial > uint64(n.manifest.NumBallots) {
+		return errBadRecord
+	}
+	st := n.state(serial)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch kind {
+	case recEndorsed:
+		code := d.bytes()
+		if d.bad {
+			return errBadRecord
+		}
+		if st.endorsedCode == nil {
+			st.endorsedCode = code
+		}
+	case recUCert:
+		cert := d.cert()
+		if d.bad || cert == nil {
+			return errBadRecord
+		}
+		installCertLocked(st, cert.Code, cert)
+	case recPending:
+		code := d.bytes()
+		part := d.u8()
+		row := d.u32()
+		cert := d.cert()
+		if d.bad || cert == nil {
+			return errBadRecord
+		}
+		installCertLocked(st, code, cert)
+		st.part, st.row = part, int(row)
+	case recShare:
+		index := d.u32()
+		value := d.bytes()
+		if d.bad {
+			return errBadRecord
+		}
+		v, err := group.DecodeScalar(value)
+		if err != nil {
+			return fmt.Errorf("%w: share value: %v", errBadRecord, err)
+		}
+		if st.shares == nil {
+			st.shares = make(map[uint32]*big.Int, n.hv)
+		}
+		if _, ok := st.shares[index]; !ok {
+			st.shares[index] = v
+		}
+		if index == uint32(n.self)+1 {
+			st.sentVoteP = true
+		}
+	case recVoted:
+		code := d.bytes()
+		receipt := d.bytes()
+		if d.bad {
+			return errBadRecord
+		}
+		if st.usedCode == nil {
+			st.usedCode = code
+		}
+		st.status = Voted
+		if st.receipt == nil {
+			st.receipt = receipt
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", errBadRecord, kind)
+	}
+	return nil
+}
+
+// installCertLocked raises a ballot to (at least) Pending under a known
+// certificate. Caller holds st.mu. The certificate came from our own
+// journal: it verified before it was logged, so it is not re-verified.
+func installCertLocked(st *ballotState, code []byte, cert *wire.UCert) {
+	if st.cert == nil {
+		st.cert = cert
+	}
+	if st.usedCode == nil {
+		st.usedCode = code
+	}
+	if st.status == NotVoted {
+		st.status = Pending
+	}
+}
+
+// finishRecovery reconstructs receipts for ballots whose journal holds a
+// reconstruction-threshold share set but no voted record (a crash between
+// the last share landing and the receipt record).
+func (n *Node) finishRecovery() {
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		states := make(map[uint64]*ballotState, len(sh.ballots))
+		for serial, st := range sh.ballots {
+			states[serial] = st
+		}
+		sh.mu.Unlock()
+		for serial, st := range states {
+			st.mu.Lock()
+			// The journal already holds the shares this derives from, so
+			// the record and waiters (none at recovery) are dropped.
+			n.maybeReconstructLocked(serial, st)
+			st.mu.Unlock()
+		}
+	}
+}
+
+// --- journaling hooks ------------------------------------------------------
+
+// journalAppend logs transition records (no-op without a journal). Must not
+// be called while holding any ballot or shard lock: a snapshot triggered
+// here serializes the whole state under those locks. Append errors are
+// counted, not fatal — the node keeps serving from memory (DESIGN.md,
+// "Durability and recovery").
+func (n *Node) journalAppend(recs ...[]byte) {
+	j := n.journal
+	if j == nil || len(recs) == 0 {
+		return
+	}
+	due, err := j.Append(recs)
+	if err != nil {
+		n.metrics.JournalErrors.Add(1)
+		return
+	}
+	n.metrics.JournalRecords.Add(int64(len(recs)))
+	if due && n.snapshotting.CompareAndSwap(false, true) {
+		if err := j.Snapshot(n.serializeState); err != nil {
+			n.metrics.JournalErrors.Add(1)
+		} else {
+			n.metrics.Snapshots.Add(1)
+		}
+		n.snapshotting.Store(false)
+	}
+}
+
+// serializeState dumps the node's entire runtime state as journal records —
+// the snapshot payload and the basis of StateHash. Deterministic: ballots
+// ordered by serial, shares by index.
+func (n *Node) serializeState() [][]byte {
+	type entry struct {
+		serial uint64
+		st     *ballotState
+	}
+	var entries []entry
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		for serial, st := range sh.ballots {
+			entries = append(entries, entry{serial, st})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, k int) bool { return entries[i].serial < entries[k].serial })
+	var out [][]byte
+	for _, e := range entries {
+		st := e.st
+		st.mu.Lock()
+		if st.endorsedCode != nil {
+			out = append(out, encEndorsed(e.serial, st.endorsedCode))
+		}
+		if st.cert != nil {
+			out = append(out, encPending(e.serial, st.usedCode, st.part, st.row, st.cert))
+		}
+		idxs := make([]uint32, 0, len(st.shares))
+		for idx := range st.shares {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(i, k int) bool { return idxs[i] < idxs[k] })
+		for _, idx := range idxs {
+			out = append(out, encShare(e.serial, idx, st.shares[idx]))
+		}
+		if st.status == Voted {
+			out = append(out, encVoted(e.serial, st.usedCode, st.receipt))
+		}
+		st.mu.Unlock()
+	}
+	n.vscMu.Lock()
+	if n.vscDone {
+		out = append(out, encVSC(n.vscResult))
+	}
+	n.vscMu.Unlock()
+	return out
+}
+
+// StateHash digests the node's runtime ballot state. Two nodes (or one node
+// before and after a recover cycle) with identical state hash identically —
+// the acceptance check for recovery idempotence.
+func (n *Node) StateHash() [32]byte {
+	h := sha256.New()
+	var lenBuf [4]byte
+	for _, rec := range n.serializeState() {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec))) //nolint:gosec // record-sized
+		h.Write(lenBuf[:])
+		h.Write(rec)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -16,6 +16,10 @@ type Metrics struct {
 	SendErrors    atomic.Int64
 	Recoveries    atomic.Int64
 
+	JournalRecords atomic.Int64 // transitions journaled to the WAL
+	JournalErrors  atomic.Int64 // failed journal appends/syncs (alarm on this)
+	Snapshots      atomic.Int64 // snapshot + log-truncation cycles
+
 	EndorseNanos atomic.Int64 // cumulative endorsement-phase time (responder)
 	EndorseCount atomic.Int64
 	VoteNanos    atomic.Int64 // cumulative full vote time (responder)
@@ -40,6 +44,10 @@ type Snapshot struct {
 	SendErrors    int64
 	Recoveries    int64
 
+	JournalRecords int64
+	JournalErrors  int64
+	Snapshots      int64
+
 	AvgEndorse time.Duration
 	AvgVote    time.Duration
 }
@@ -52,6 +60,10 @@ func (n *Node) Metrics() Snapshot {
 		BadShares:     n.metrics.BadShares.Load(),
 		SendErrors:    n.metrics.SendErrors.Load(),
 		Recoveries:    n.metrics.Recoveries.Load(),
+
+		JournalRecords: n.metrics.JournalRecords.Load(),
+		JournalErrors:  n.metrics.JournalErrors.Load(),
+		Snapshots:      n.metrics.Snapshots.Load(),
 	}
 	if c := n.metrics.EndorseCount.Load(); c > 0 {
 		s.AvgEndorse = time.Duration(n.metrics.EndorseNanos.Load() / c)

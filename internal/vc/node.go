@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ddemos/internal/clock"
@@ -119,6 +120,14 @@ type Node struct {
 	vscMu     sync.Mutex
 	vsc       *vscEngine
 	vscBuffer []bufferedMsg
+	vscDone   bool          // vote-set consensus completed (possibly recovered)
+	vscResult []VotedBallot // the agreed set, stable across restarts
+
+	// journal, when attached via Recover, logs every ballot state
+	// transition before the node acts on it (DESIGN.md, "Durability and
+	// recovery"). nil = memory-only node.
+	journal      *Journal
+	snapshotting atomic.Bool
 
 	metrics Metrics
 
@@ -249,13 +258,20 @@ func (n *Node) Start() {
 	go n.pump()
 }
 
-// Stop shuts the node down and waits for its goroutines.
+// Stop shuts the node down and waits for its goroutines. An attached
+// journal is synced and closed, so a clean stop loses nothing and a later
+// Recover on the same directory resumes exactly here.
 func (n *Node) Stop() {
 	n.stopped.Do(func() {
 		close(n.done)
 		_ = n.ep.Close()
 	})
 	n.wg.Wait()
+	if n.journal != nil {
+		if err := n.journal.Close(); err != nil {
+			n.metrics.JournalErrors.Add(1)
+		}
+	}
 }
 
 // Index returns the node's 0-based index.
@@ -492,6 +508,7 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 	}
 	st := n.state(serial)
 
+	var newlyEndorsed bool
 	st.mu.Lock()
 	switch st.status {
 	case Voted:
@@ -517,9 +534,14 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 			st.mu.Unlock()
 			return nil, ErrAlreadyVoted
 		}
+		newlyEndorsed = st.endorsedCode == nil
 		st.endorsedCode = append([]byte(nil), code...)
 	}
 	st.mu.Unlock()
+	if newlyEndorsed {
+		// Journal the endorsement duty before asking peers to match it.
+		n.journalAppend(encEndorsed(serial, code))
+	}
 
 	// Collect Nv-fv endorsements (ours included).
 	cert, err := n.collectEndorsements(ctx, serial, code)
@@ -534,6 +556,7 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 	}
 
 	ch := make(chan voteOutcome, 1)
+	var recs [][]byte
 	st.mu.Lock()
 	if st.status == NotVoted {
 		st.status = Pending
@@ -542,6 +565,9 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 		st.cert = cert
 		st.shares = map[uint32]*big.Int{share.Index: share.Value}
 		st.sentVoteP = true
+		recs = append(recs,
+			encPending(serial, code, part, row, cert),
+			encShare(serial, share.Index, share.Value))
 	}
 	switch {
 	case st.status == Voted && bytes.Equal(st.usedCode, code):
@@ -556,6 +582,10 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 		st.mu.Unlock()
 	}
 
+	// The certified binding and our disclosed share are journaled before
+	// VOTE_P leaves: once a peer can act on our share, a restart must
+	// remember we bound the ballot and disclosed.
+	n.journalAppend(recs...)
 	n.multicastVoteP(serial, code, share, shareSig, cert)
 	receipt, err := n.awaitOutcome(ctx, ch)
 	if err == nil {
@@ -663,17 +693,25 @@ func (n *Node) onEndorse(from uint16, m *wire.Endorse) {
 		return
 	}
 	st := n.state(m.Serial)
+	var newlyEndorsed bool
 	st.mu.Lock()
 	switch {
 	case n.byz == Equivocator:
 		// Sign regardless — the attack UCERT formation must defeat.
 	case st.endorsedCode == nil && st.status == NotVoted:
 		st.endorsedCode = append([]byte(nil), m.Code...)
+		newlyEndorsed = true
 	case !bytes.Equal(st.endorsedCode, m.Code) && !bytes.Equal(st.usedCode, m.Code):
 		st.mu.Unlock()
 		return
 	}
 	st.mu.Unlock()
+	if newlyEndorsed {
+		// The signature is a uniqueness promise: journal it before the
+		// reply carries it away, or a restarted node could endorse a
+		// different code for the same ballot.
+		n.journalAppend(encEndorsed(m.Serial, m.Code))
+	}
 	reply := &wire.Endorsement{Serial: m.Serial, Code: m.Code, Signer: n.self, Sig: n.endorseSig(m.Serial, m.Code)}
 	if err := n.ep.Send(transport.NodeID(from), wire.Encode(reply)); err != nil {
 		n.metrics.SendErrors.Add(1)
@@ -852,7 +890,9 @@ func (n *Node) onVotePBatch(batch []job) {
 
 // applyShares records a serial's batch of validated shares under one lock
 // acquisition, disclosing our own share on first contact and reconstructing
-// the receipt once Nv-fv shares are in.
+// the receipt once Nv-fv shares are in. Transitions are journaled after the
+// lock is released and before the acks (waiter notification, our VOTE_P):
+// nothing leaves this node that a restart would forget.
 func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 	st := n.state(serial)
 	var disclose bool
@@ -860,6 +900,7 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 	var ownSig []byte
 	var discloseCode []byte
 	var discloseCert *wire.UCert
+	var recs [][]byte
 
 	st.mu.Lock()
 	for _, i := range idxs {
@@ -878,6 +919,9 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 			st.part, st.row = c.part, c.row
 			st.cert = c.cert
 			st.shares = map[uint32]*big.Int{c.share.Index: c.share.Value}
+			recs = append(recs,
+				encPending(serial, c.m.Code, c.part, c.row, c.cert),
+				encShare(serial, c.share.Index, c.share.Value))
 		case Pending, Voted:
 			if !bytes.Equal(st.usedCode, c.m.Code) {
 				// Impossible with honest-majority UCERTs; drop defensively.
@@ -887,6 +931,9 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 			if st.shares == nil {
 				st.shares = make(map[uint32]*big.Int, n.hv)
 			}
+			if _, dup := st.shares[c.share.Index]; !dup {
+				recs = append(recs, encShare(serial, c.share.Index, c.share.Value))
+			}
 			st.shares[c.share.Index] = c.share.Value
 		}
 		if !st.sentVoteP {
@@ -894,6 +941,7 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 			own, sg, err := n.ownShare(c.bd, c.part, c.row)
 			if err == nil {
 				st.shares[own.Index] = own.Value
+				recs = append(recs, encShare(serial, own.Index, own.Value))
 				disclose = true
 				ownSh, ownSig = own, sg
 				discloseCode = st.usedCode
@@ -901,19 +949,29 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 			}
 		}
 	}
-	n.maybeReconstructLocked(st)
+	rec, notify, receipt := n.maybeReconstructLocked(serial, st)
+	if rec != nil {
+		recs = append(recs, rec)
+	}
 	st.mu.Unlock()
 
+	n.journalAppend(recs...)
+	for _, ch := range notify {
+		ch <- voteOutcome{receipt: receipt}
+	}
 	if disclose {
 		n.multicastVoteP(serial, discloseCode, ownSh, ownSig, discloseCert)
 	}
 }
 
 // maybeReconstructLocked reconstructs the receipt once Nv-fv shares are in.
-// Caller holds st.mu.
-func (n *Node) maybeReconstructLocked(st *ballotState) {
+// Caller holds st.mu. Waiter notification is handed back to the caller (to
+// run after the voted record is journaled, outside the lock): the receipt
+// is an irrevocable promise to the voter, so it must be durable before it
+// is released.
+func (n *Node) maybeReconstructLocked(serial uint64, st *ballotState) (rec []byte, notify []chan voteOutcome, receipt []byte) {
 	if st.status == Voted || len(st.shares) < n.hv {
-		return
+		return nil, nil, nil
 	}
 	shares := make([]shamir.Share, 0, n.hv)
 	for idx, v := range st.shares {
@@ -924,20 +982,19 @@ func (n *Node) maybeReconstructLocked(st *ballotState) {
 	}
 	secret, err := shamir.Combine(shares, n.hv)
 	if err != nil {
-		return
+		return nil, nil, nil
 	}
-	receipt, err := shamir.ScalarToSecret(secret)
+	receipt, err = shamir.ScalarToSecret(secret)
 	if err != nil || len(receipt) != votecode.ReceiptSize {
 		// Cannot happen when all shares carried valid EA signatures.
 		n.metrics.BadShares.Add(1)
-		return
+		return nil, nil, nil
 	}
 	st.status = Voted
 	st.receipt = receipt
-	for _, ch := range st.waiters {
-		ch <- voteOutcome{receipt: receipt}
-	}
+	notify = st.waiters
 	st.waiters = nil
+	return encVoted(serial, st.usedCode, receipt), notify, receipt
 }
 
 // BallotStatus reports a ballot's current state (tests and recovery).

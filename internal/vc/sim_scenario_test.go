@@ -12,17 +12,28 @@ import (
 	"time"
 
 	"ddemos/internal/ballot"
+	"ddemos/internal/clock"
+	"ddemos/internal/ea"
 	"ddemos/internal/sim"
 	"ddemos/internal/transport"
 )
 
-// The vc test cluster is a scenario fault surface.
-var _ sim.Surface = (*cluster)(nil)
+// The vc test cluster is a scenario fault surface, with in-place restart.
+var (
+	_ sim.Surface   = (*cluster)(nil)
+	_ sim.Restarter = (*cluster)(nil)
+)
 
 // checkCertAgreement probes the at-most-one-UCERT invariant while a
-// scenario runs (vc.CertAgreement over this cluster's nodes).
+// scenario runs (vc.CertAgreement over this cluster's nodes). The node
+// slice is snapshotted under the lock: restarts swap incarnations
+// mid-probe, and a stopped incarnation's frozen state is still a valid
+// witness for agreement.
 func (c *cluster) checkCertAgreement(numBallots int) error {
-	return CertAgreement(c.nodes, numBallots)
+	c.mu.Lock()
+	nodes := append([]*Node(nil), c.nodes...)
+	c.mu.Unlock()
+	return CertAgreement(nodes, numBallots)
 }
 
 // scenarioLink derives the sweep's link profile: lossy LAN by default, the
@@ -47,59 +58,51 @@ type sweepStats struct {
 	starved   int
 }
 
-// runThresholdScenario runs one seeded fault schedule at the paper's
-// thresholds: fv = ⌈Nv/3⌉−1 Equivocator nodes plus a crash/partition mix
-// over the schedule window, while two conflicting vote codes race for every
-// ballot. Safety must hold unconditionally; receipts may starve.
-func runThresholdScenario(t *testing.T, seed uint64, stats *sweepStats) {
-	const (
-		numVC      = 4
-		numBallots = 3
-	)
-	scen := sim.RandomScenario(seed, sim.ScenarioConfig{
-		NumNodes:  numVC,
-		Byzantine: 1, // fv = ⌈4/3⌉−1
-		Duration:  10 * time.Millisecond,
-	})
+// equivocatorSeats maps a scenario's Byzantine seats to Equivocator — the
+// exact attack UCERTs exist to defeat.
+func equivocatorSeats(scen sim.Scenario) map[int]Byzantine {
 	byz := make(map[int]Byzantine, len(scen.Byzantine))
 	for _, b := range scen.Byzantine {
-		byz[b] = Equivocator // the exact attack UCERTs exist to defeat
+		byz[b] = Equivocator
 	}
-	// Even seeds run the batched pipeline, odd seeds the raw one.
-	stack := rawStack
-	if seed%2 == 0 {
-		stack = batchedStack(transport.BatcherOptions{Window: 500 * time.Microsecond, MaxMessages: 8})
-	}
-	c := newSimClusterStack(t, seed, byz, numBallots, numVC, scenarioLink(scen), stack)
-	scen.Install(c.drv, c)
-	violations := scen.InstallProbes(c.drv, []sim.Probe{{
-		Name:  "at-most-one-ucert",
-		Every: 2 * time.Millisecond,
-		Check: func() error { return c.checkCertAgreement(numBallots) },
-	}})
+	return byz
+}
 
-	// Two conflicting codes per ballot, submitted at different nodes at
-	// seeded virtual offsets spread across the fault schedule.
-	rng := rand.New(rand.NewPCG(seed, 0x70FE)) //nolint:gosec // test schedule only
-	type submission struct {
-		serial uint64
-		part   ballot.PartID
-		option int
-		at     int
+// sweepStack picks the endpoint stack for a sweep seed: even seeds run the
+// batched pipeline, odd seeds the raw one.
+func sweepStack(seed uint64) func(int, *ea.ElectionData, transport.Endpoint, clock.Timers) transport.Endpoint {
+	if seed%2 == 0 {
+		return batchedStack(transport.BatcherOptions{Window: 500 * time.Microsecond, MaxMessages: 8})
 	}
-	var subs []submission
+	return rawStack
+}
+
+// castOutcome is one conflicting-code submission and its result.
+type castOutcome struct {
+	serial  uint64
+	part    ballot.PartID
+	option  int
+	at      int
+	code    []byte
+	receipt []byte
+	err     error
+}
+
+// driveConflictingSubmissions races two conflicting vote codes for every
+// ballot, submitted at rng-drawn nodes and virtual offsets spread across
+// the fault-schedule window, and collects every outcome. salt decouples the
+// submission schedule streams of independent sweeps on the same seed.
+func driveConflictingSubmissions(t *testing.T, c *cluster, scen sim.Scenario, seed, salt uint64, numBallots, numVC int) []castOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, salt)) //nolint:gosec // test schedule only
+	var subs []castOutcome
 	for b := 0; b < numBallots; b++ {
 		serial := uint64(b + 1)
 		subs = append(subs,
-			submission{serial, ballot.PartA, 0, rng.IntN(numVC)},
-			submission{serial, ballot.PartB, 1, rng.IntN(numVC)})
+			castOutcome{serial: serial, part: ballot.PartA, option: 0, at: rng.IntN(numVC)},
+			castOutcome{serial: serial, part: ballot.PartB, option: 1, at: rng.IntN(numVC)})
 	}
-	type outcome struct {
-		sub     submission
-		receipt []byte
-		err     error
-	}
-	results := make(chan outcome, len(subs))
+	results := make(chan castOutcome, len(subs))
 	var wg sync.WaitGroup
 	for _, sub := range subs {
 		sub := sub
@@ -108,35 +111,49 @@ func runThresholdScenario(t *testing.T, seed uint64, stats *sweepStats) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		sub.code = code
 		wg.Add(1)
 		c.drv.AfterFunc(offset, func() {
 			go func() {
 				defer wg.Done()
 				ctx, cancel := c.drv.WithTimeout(context.Background(), 10*time.Second)
 				defer cancel()
-				r, err := c.nodes[sub.at].SubmitVote(ctx, sub.serial, code)
-				results <- outcome{sub, r, err}
+				sub.receipt, sub.err = c.node(sub.at).SubmitVote(ctx, sub.serial, sub.code)
+				results <- sub
 			}()
 		})
 	}
 	wg.Wait()
 	close(results)
-
-	// Invariants: at most one receipt per ballot, and every receipt is the
-	// true receipt line for its code (reconstruction never corrupts).
-	receipts := make(map[uint64]int)
+	var out []castOutcome
 	for o := range results {
+		out = append(out, o)
+	}
+	return out
+}
+
+// tallyOutcomes asserts the sweep invariants — at most one receipt per
+// ballot, every receipt the true line receipt for its code, certification
+// agreement in the final state, no probe violations — updates the sweep
+// stats, and returns each ballot's winning outcome.
+func tallyOutcomes(t *testing.T, c *cluster, seed uint64, outcomes []castOutcome,
+	violations *sim.Violations, stats *sweepStats, numBallots int) map[uint64]castOutcome {
+	t.Helper()
+	receipts := make(map[uint64]int)
+	winners := make(map[uint64]castOutcome)
+	for _, o := range outcomes {
 		if o.err != nil {
 			stats.mu.Lock()
 			stats.starved++
 			stats.mu.Unlock()
 			continue
 		}
-		receipts[o.sub.serial]++
-		want := c.expectedReceipt(o.sub.serial, o.sub.part, o.sub.option)
+		receipts[o.serial]++
+		want := c.expectedReceipt(o.serial, o.part, o.option)
 		if !bytes.Equal(o.receipt, want) {
-			t.Errorf("seed %d: ballot %d: reconstructed receipt is corrupt", seed, o.sub.serial)
+			t.Errorf("seed %d: ballot %d: reconstructed receipt is corrupt", seed, o.serial)
 		}
+		winners[o.serial] = o
 		stats.mu.Lock()
 		stats.receipts++
 		stats.mu.Unlock()
@@ -155,6 +172,32 @@ func runThresholdScenario(t *testing.T, seed uint64, stats *sweepStats) {
 	stats.mu.Lock()
 	stats.scenarios++
 	stats.mu.Unlock()
+	return winners
+}
+
+// runThresholdScenario runs one seeded fault schedule at the paper's
+// thresholds: fv = ⌈Nv/3⌉−1 Equivocator nodes plus a crash/partition mix
+// over the schedule window, while two conflicting vote codes race for every
+// ballot. Safety must hold unconditionally; receipts may starve.
+func runThresholdScenario(t *testing.T, seed uint64, stats *sweepStats) {
+	const (
+		numVC      = 4
+		numBallots = 3
+	)
+	scen := sim.RandomScenario(seed, sim.ScenarioConfig{
+		NumNodes:  numVC,
+		Byzantine: 1, // fv = ⌈4/3⌉−1
+		Duration:  10 * time.Millisecond,
+	})
+	c := newSimClusterStack(t, seed, equivocatorSeats(scen), numBallots, numVC, scenarioLink(scen), sweepStack(seed))
+	scen.Install(c.drv, c)
+	violations := scen.InstallProbes(c.drv, []sim.Probe{{
+		Name:  "at-most-one-ucert",
+		Every: 2 * time.Millisecond,
+		Check: func() error { return c.checkCertAgreement(numBallots) },
+	}})
+	outcomes := driveConflictingSubmissions(t, c, scen, seed, 0x70FE, numBallots, numVC)
+	tallyOutcomes(t, c, seed, outcomes, violations, stats, numBallots)
 }
 
 // TestScenarioSweepThresholdInvariants sweeps ≥100 seeded random fault
@@ -190,6 +233,129 @@ func TestScenarioSweepThresholdInvariants(t *testing.T) {
 		stats.scenarios, stats.receipts, stats.starved)
 	// Starvation per scenario is legal (drops eat endorsements), but a
 	// sweep where almost nothing completes means liveness collapsed.
+	if stats.receipts < stats.scenarios/2 {
+		t.Fatalf("only %d receipts across %d scenarios: liveness collapsed", stats.receipts, stats.scenarios)
+	}
+}
+
+// runRestartScenario runs one seeded crash-restart schedule over a
+// journaled cluster: every node persists its runtime state, and the
+// schedule hard-stops nodes (volatile state lost) and restarts them from
+// WAL+snapshot mid-election, alongside partitions and an Equivocator seat.
+// Safety (at most one UCERT, correct receipts) must hold across the
+// restarts; after the schedule, every receipt issued must be reproducible
+// at a node that lived through a restart.
+func runRestartScenario(t *testing.T, seed uint64, stats *sweepStats) {
+	const (
+		numVC      = 4
+		numBallots = 3
+	)
+	scen := sim.RandomScenario(seed, sim.ScenarioConfig{
+		NumNodes:          numVC,
+		Byzantine:         1,
+		Duration:          10 * time.Millisecond,
+		MaxCrashWindows:   -1, // restart windows take the crash lever's place
+		MaxRestartWindows: 2,
+	})
+	// Every sweep seed must exercise recovery: if the draw produced no
+	// restart window, add a deterministic one.
+	hasRestart := false
+	for _, f := range scen.Faults {
+		if f.Kind == sim.FaultStop {
+			hasRestart = true
+			break
+		}
+	}
+	if !hasRestart {
+		node := int(seed % numVC)
+		scen.Faults = append(scen.Faults,
+			sim.Fault{At: scen.Duration / 4, Kind: sim.FaultStop, A: node},
+			sim.Fault{At: scen.Duration * 3 / 4, Kind: sim.FaultRestart, A: node})
+	}
+	restarted := map[int]bool{}
+	for _, f := range scen.Faults {
+		if f.Kind == sim.FaultRestart {
+			restarted[f.A] = true
+		}
+	}
+	c := newSimCluster(t, seed, equivocatorSeats(scen), numBallots, numVC, scenarioLink(scen), sweepStack(seed), true)
+	scen.Install(c.drv, c)
+	violations := scen.InstallProbes(c.drv, []sim.Probe{{
+		Name:  "at-most-one-ucert",
+		Every: 2 * time.Millisecond,
+		Check: func() error { return c.checkCertAgreement(numBallots) },
+	}})
+	outcomes := driveConflictingSubmissions(t, c, scen, seed, 0x4E57, numBallots, numVC)
+
+	// A submission burst can resolve before the last scheduled fault fires:
+	// wait (wall-clock poll, virtual progress) until the whole schedule has
+	// executed, so the replay below provably targets *restarted* nodes.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(c.drv.Trace()) < len(scen.Faults) {
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: fault schedule never completed", seed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	winners := tallyOutcomes(t, c, seed, outcomes, violations, stats, numBallots)
+
+	// Receipt stability across restart: replay every winning code at a node
+	// that was killed and recovered — the answer must be byte-identical.
+	for serial, o := range winners {
+		for at := range restarted {
+			ctx, cancel := c.drv.WithTimeout(context.Background(), 10*time.Second)
+			r, err := c.node(at).SubmitVote(ctx, serial, o.code)
+			cancel()
+			if err != nil {
+				// A post-schedule resubmission can still starve only if the
+				// Byzantine seat withholds; that is a liveness event, not a
+				// safety violation.
+				stats.mu.Lock()
+				stats.starved++
+				stats.mu.Unlock()
+				continue
+			}
+			if !bytes.Equal(r, o.receipt) {
+				t.Errorf("seed %d: ballot %d: restarted node %d returned a different receipt", seed, serial, at)
+			}
+		}
+	}
+}
+
+// TestScenarioSweepRestartRecovery sweeps ≥100 seeded crash-restart
+// schedules: journaled nodes are hard-stopped mid-election (volatile state
+// gone) and relaunched from their WAL/snapshot, under partitions,
+// drop/dup links, WAN profiles and one Equivocator. Safety must hold
+// unconditionally and recovered nodes must reproduce issued receipts.
+// Replay one seed with -run 'TestScenarioSweepRestartRecovery/seed=N'; CI
+// adds a rotating seed via DDEMOS_RESTART_SEED.
+func TestScenarioSweepRestartRecovery(t *testing.T) {
+	numSeeds := 100
+	if testing.Short() {
+		numSeeds = 20
+	}
+	seeds := make([]uint64, 0, numSeeds+1)
+	for s := uint64(1); s <= uint64(numSeeds); s++ {
+		seeds = append(seeds, s)
+	}
+	if v := os.Getenv("DDEMOS_RESTART_SEED"); v != "" {
+		extra, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("DDEMOS_RESTART_SEED = %q: %v", v, err)
+		}
+		t.Logf("rotating restart seed from environment: %d", extra)
+		seeds = append(seeds, extra)
+	}
+	stats := &sweepStats{}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRestartScenario(t, seed, stats)
+		})
+	}
+	t.Logf("restart sweep: %d scenarios, %d receipts issued, %d submissions starved",
+		stats.scenarios, stats.receipts, stats.starved)
 	if stats.receipts < stats.scenarios/2 {
 		t.Fatalf("only %d receipts across %d scenarios: liveness collapsed", stats.receipts, stats.scenarios)
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"crypto/ed25519"
+	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -32,6 +34,15 @@ func newClusterStack(t *testing.T, numBallots, numVC int, lp transport.LinkProfi
 func newSimClusterStack(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots, numVC int,
 	lp transport.LinkProfile,
 	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint) *cluster {
+	return newSimCluster(t, seed, byz, numBallots, numVC, lp, stack, false)
+}
+
+// newSimCluster additionally gives every node a journal directory when
+// journaled is set, enabling in-place crash-restart (sim.Restarter).
+func newSimCluster(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots, numVC int,
+	lp transport.LinkProfile,
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint,
+	journaled bool) *cluster {
 	t.Helper()
 	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
 	data, err := ea.Setup(ea.Params{
@@ -53,10 +64,13 @@ func newSimClusterStack(t *testing.T, seed uint64, byz map[int]Byzantine, numBal
 	net := transport.NewMemnetWithTimers(lp, drv)
 	net.Reseed(seed, 0xFA17)
 	c := &cluster{
-		t:    t,
-		data: data,
-		net:  net,
-		drv:  drv,
+		t:     t,
+		data:  data,
+		net:   net,
+		drv:   drv,
+		byz:   byz,
+		stack: stack,
+		dirs:  make([]string, numVC),
 	}
 	for i := 0; i < numVC; i++ {
 		ep := stack(i, data, c.net.Endpoint(transport.NodeID(i)), drv)
@@ -68,6 +82,12 @@ func newSimClusterStack(t *testing.T, seed uint64, byz map[int]Byzantine, numBal
 		})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if journaled {
+			c.dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("vc-%d", i))
+			if err := node.Recover(c.dirs[i]); err != nil {
+				t.Fatal(err)
+			}
 		}
 		node.Start()
 		c.nodes = append(c.nodes, node)

@@ -3,6 +3,7 @@ package vc
 import (
 	"bytes"
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,14 +17,22 @@ import (
 
 // cluster is a test harness running Nv VC nodes over a simulated network.
 // Either clk (manual fake clock, real Memnet timers) or drv (virtual time,
-// sim-driven Memnet) is set, depending on the constructor.
+// sim-driven Memnet) is set, depending on the constructor. Sim-built
+// clusters can stop and restart nodes in place (crash-recovery scenarios);
+// dirs holds each node's journal directory ("" = memory-only node).
 type cluster struct {
-	t     *testing.T
-	data  *ea.ElectionData
-	net   *transport.Memnet
+	t    *testing.T
+	data *ea.ElectionData
+	net  *transport.Memnet
+	clk  *clock.Fake
+	drv  *sim.Driver
+
+	mu    sync.Mutex
 	nodes []*Node
-	clk   *clock.Fake
-	drv   *sim.Driver
+
+	dirs  []string
+	byz   map[int]Byzantine
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint
 }
 
 // Crash, Restore and Partition implement sim.Surface for scenario runs.
@@ -31,6 +40,46 @@ func (c *cluster) Crash(i int)   { c.net.Isolate(transport.NodeID(i), true) }  /
 func (c *cluster) Restore(i int) { c.net.Isolate(transport.NodeID(i), false) } //nolint:gosec // small
 func (c *cluster) Partition(a, b int, on bool) {
 	c.net.Partition(transport.NodeID(a), transport.NodeID(b), on) //nolint:gosec // small
+}
+
+// node returns the current incarnation of node i (restarts swap it).
+func (c *cluster) node(i int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
+
+// StopNode implements sim.Restarter: a hard stop — all volatile state of
+// the incarnation is gone; only its journal (if any) survives.
+func (c *cluster) StopNode(i int) {
+	c.node(i).Stop()
+}
+
+// RestartNode implements sim.Restarter: relaunch node i from its journal
+// under the same network identity.
+func (c *cluster) RestartNode(i int) {
+	c.node(i).Stop()                                                     // idempotent: a restart without a prior stop is legal
+	ep := c.stack(i, c.data, c.net.Endpoint(transport.NodeID(i)), c.drv) //nolint:gosec // small
+	node, err := New(Config{
+		Init:      c.data.VC[i],
+		Endpoint:  ep,
+		Clock:     c.drv,
+		Byzantine: c.byz[i],
+	})
+	if err != nil {
+		c.t.Errorf("restart vc %d: %v", i, err)
+		return
+	}
+	if c.dirs[i] != "" {
+		if err := node.Recover(c.dirs[i]); err != nil {
+			c.t.Errorf("restart vc %d: recover: %v", i, err)
+			return
+		}
+	}
+	node.Start()
+	c.mu.Lock()
+	c.nodes[i] = node
+	c.mu.Unlock()
 }
 
 func newCluster(t *testing.T, numBallots, numVC int, byz map[int]Byzantine) *cluster {
@@ -79,7 +128,10 @@ func newCluster(t *testing.T, numBallots, numVC int, byz map[int]Byzantine) *clu
 }
 
 func (c *cluster) stop() {
-	for _, n := range c.nodes {
+	c.mu.Lock()
+	nodes := append([]*Node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
 		n.Stop()
 	}
 	_ = c.net.Close()

@@ -43,6 +43,16 @@ const recoverRetryInterval = 250 * time.Millisecond
 // into consistent multi-code sets. The announce/recover layer then keys
 // entries by (serial, code) — which wire.AnnounceEntry already supports.
 func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
+	// A recovered node that already completed consensus returns its
+	// journaled set: the agreement is final, and a crash after the result
+	// was acted on (signed, pushed to BB) must not re-derive it.
+	n.vscMu.Lock()
+	if n.vscDone {
+		set := append([]VotedBallot(nil), n.vscResult...)
+		n.vscMu.Unlock()
+		return set, nil
+	}
+	n.vscMu.Unlock()
 	count := uint32(n.manifest.NumBallots) //nolint:gosec // validated at setup
 	e := &vscEngine{
 		n:             n,
@@ -137,6 +147,19 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 	if decidedOnes != len(set) {
 		return nil, fmt.Errorf("vc: %d ballots decided voted but only %d codes known", decidedOnes, len(set))
 	}
+	// The agreed set is the input to the signed BB push: journal and sync
+	// it (once per election — the fsync is off the hot path) before anyone
+	// can act on it.
+	n.journalAppend(encVSC(set))
+	if n.journal != nil {
+		if err := n.journal.Sync(); err != nil {
+			n.metrics.JournalErrors.Add(1)
+		}
+	}
+	n.vscMu.Lock()
+	n.vscDone = true
+	n.vscResult = append([]VotedBallot(nil), set...)
+	n.vscMu.Unlock()
 	return set, nil
 }
 
@@ -186,6 +209,7 @@ func (n *Node) adoptEntry(entry *wire.AnnounceEntry) bool {
 	if cert.Serial != entry.Serial || string(cert.Code) != string(entry.Code) || !n.VerifyUCert(&cert) {
 		return false
 	}
+	var installed bool
 	st.mu.Lock()
 	if st.cert == nil {
 		st.cert = &cert
@@ -193,8 +217,14 @@ func (n *Node) adoptEntry(entry *wire.AnnounceEntry) bool {
 		if st.status == NotVoted {
 			st.status = Pending
 		}
+		installed = true
 	}
 	st.mu.Unlock()
+	if installed {
+		// An adopted certificate feeds our consensus input: journal it so
+		// a restarted node announces the same certified set.
+		n.journalAppend(encUCert(entry.Serial, &cert))
+	}
 	return true
 }
 

@@ -301,6 +301,24 @@ func decodeUCert(r *reader) UCert {
 	return u
 }
 
+// MarshalUCert serializes a certificate standalone — the journal and
+// snapshot records of the VC persistence layer embed certificates outside
+// any protocol frame.
+func MarshalUCert(u *UCert) []byte {
+	return appendUCert(nil, u)
+}
+
+// UnmarshalUCert parses a standalone certificate produced by MarshalUCert,
+// returning the unconsumed rest of buf.
+func UnmarshalUCert(buf []byte) (UCert, []byte, error) {
+	r := &reader{buf: buf}
+	u := decodeUCert(r)
+	if r.err != nil {
+		return UCert{}, nil, r.err
+	}
+	return u, r.buf, nil
+}
+
 // VoteP discloses a node's receipt share for a certified (serial, code),
 // carrying the UCERT so receivers can join without having seen the ENDORSE
 // round.
