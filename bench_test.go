@@ -7,6 +7,7 @@
 package ddemos
 
 import (
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -194,6 +195,30 @@ func BenchmarkWALAblation(b *testing.B) {
 		b.ReportMetric(row.Off, "wal-off-votes/sec")
 		b.ReportMetric(row.On, "wal-on-votes/sec")
 		b.ReportMetric(row.Ratio(), "wal-ratio")
+	}
+}
+
+// BenchmarkPoolAblation — the journal pool sweep (the paper's Fig. 5a
+// applied to runtime state): concurrent appenders writing protocol-shaped
+// transition records through the single-WAL engine and through sharded
+// pools of 2, 4 and 8 WAL lanes, per-append fsync. One column per pool
+// size lands in the benchjson artifact; the baseline gates the pooled
+// speedups (pool>=4 must stay >= 1.3x single-WAL).
+func BenchmarkPoolAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := benchmark.RunPoolAblation(benchmark.PoolAblationConfig{
+			Duration: 500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range points {
+			b.Logf("pool=%d appends/sec=%.0f speedup=%.2f", pt.Pool, pt.AppendsPerSec, pt.Speedup)
+			b.ReportMetric(pt.AppendsPerSec, fmt.Sprintf("pool%d-appends/sec", pt.Pool))
+			if pt.Pool > 1 {
+				b.ReportMetric(pt.Speedup, fmt.Sprintf("pool-speedup@%d", pt.Pool))
+			}
+		}
 	}
 }
 

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,all")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	authenticated := flag.Bool("authenticated", false, "sign inter-VC channels (Fig4 sweeps)")
 	batchWindow := flag.Duration("batch-window", 0,
@@ -83,11 +83,31 @@ func main() {
 			}
 			return nil
 		},
+		"pool": func() error {
+			points, err := benchmark.RunPoolAblation(benchmark.PoolAblationConfig{})
+			if err != nil {
+				return err
+			}
+			benchmark.PrintPoolAblation(os.Stdout, points)
+			return nil
+		},
+		"pool-election": func() error {
+			votesP, clientsP := 1200, 200
+			if *quick {
+				votesP, clientsP = 400, 100
+			}
+			points, err := benchmark.RunPoolElectionAblation([]int{1, 2, 4}, votesP, votesP, clientsP, 4)
+			if err != nil {
+				return err
+			}
+			benchmark.PrintPoolElectionAblation(os.Stdout, points)
+			return nil
+		},
 	}
 
 	// 4a/4b and 4d/4e share one sweep (latency and throughput of the same
 	// runs); dedupe when running everything.
-	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation"}
+	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool"}
 	if *fig == "all" {
 		for _, name := range order {
 			fmt.Printf("\n===== figure %s =====\n", name)

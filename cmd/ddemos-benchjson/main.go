@@ -1,11 +1,21 @@
 // ddemos-benchjson converts `go test -bench` output into the machine-readable
-// BENCH_<date>.json artifact and gates it against the checked-in baseline:
+// BENCH_<date>.json artifact, gates it against the checked-in baseline, and
+// maintains the per-commit history chain:
 //
-//	go test -bench 'Fig5bThroughputVsOptions|WALAblation' -benchtime 1x -run XXX . | tee bench.out
-//	ddemos-benchjson -in bench.out -out BENCH_$(date +%F).json -baseline BENCH_BASELINE.json
+//	go test -bench 'Fig5bThroughputVsOptions|WALAblation|PoolAblation' -benchtime 1x -run XXX . | tee bench.out
+//	ddemos-benchjson -in bench.out -out BENCH_$(date +%F).json \
+//	    -baseline BENCH_BASELINE.json -history BENCH_HISTORY.jsonl
+//	ddemos-benchjson -trend -history BENCH_HISTORY.jsonl -baseline BENCH_BASELINE.json
 //
-// Exit status: 0 = gate passed, 1 = regression beyond tolerance (or a gated
-// benchmark missing from the run), 2 = usage or parse error.
+// -history appends the run to the JSONL chain (one Report per line, oldest
+// first). -trend reads the chain instead of bench output and flags metrics
+// that moved monotonically against their baseline direction across the last
+// three runs — absolute numbers, so slow erosion that stays inside each
+// run's ratio tolerance still surfaces.
+//
+// Exit status: 0 = gate/trend passed, 1 = regression beyond tolerance, a
+// gated benchmark missing from the run, or a flagged trend decline,
+// 2 = usage or parse error.
 package main
 
 import (
@@ -25,8 +35,18 @@ func main() {
 	out := flag.String("out", "", "JSON artifact path (empty = stdout)")
 	baselinePath := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date stamped into the artifact")
+	historyPath := flag.String("history", "", "BENCH_HISTORY.jsonl chain: appended to after a run, read by -trend")
+	trend := flag.Bool("trend", false,
+		"trend mode: read -history and flag 3-run monotone declines of baseline-registered metrics (absolute numbers)")
+	trendMinDrop := flag.Float64("trend-min-drop", benchjson.DefaultTrendMinDrop,
+		"cumulative relative change below which a monotone 3-run move is treated as noise")
 	flag.Parse()
 	log.SetFlags(0)
+
+	if *trend {
+		runTrend(*historyPath, *baselinePath, *trendMinDrop)
+		return
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "-" {
@@ -66,6 +86,13 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rows))
 	}
+	if *historyPath != "" {
+		if err := benchjson.AppendHistoryFile(*historyPath, rep); err != nil {
+			log.Printf("benchjson: %v", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "appended to %s\n", *historyPath)
+	}
 
 	if *baselinePath == "" {
 		return
@@ -88,4 +115,44 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "baseline gate passed (%d entries)\n", len(base.Entries))
+}
+
+// runTrend is the -trend mode: flag 3-run monotone declines in the history
+// chain's absolute numbers.
+func runTrend(historyPath, baselinePath string, minDrop float64) {
+	if historyPath == "" || baselinePath == "" {
+		log.Print("benchjson: -trend requires -history and -baseline")
+		os.Exit(2)
+	}
+	hf, err := os.Open(historyPath)
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	history, err := benchjson.ReadHistory(hf)
+	_ = hf.Close()
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	base, err := benchjson.ReadBaseline(bf)
+	_ = bf.Close()
+	if err != nil {
+		log.Printf("benchjson: %v", err)
+		os.Exit(2)
+	}
+	flags := benchjson.Trend(history, base, minDrop)
+	if len(flags) > 0 {
+		for _, f := range flags {
+			fmt.Fprintln(os.Stderr, "TREND:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "trend check passed (%d runs in chain, %d tracked metrics)\n",
+		len(history), len(base.Entries))
 }

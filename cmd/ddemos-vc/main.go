@@ -38,6 +38,14 @@ func main() {
 	fsync := flag.Bool("fsync", false,
 		"fsync the journal before every ack instead of on the batched group-commit cadence "+
 			"(per-transition durability against power loss; requires -data-dir)")
+	journalPool := flag.Int("journal-pool", 1,
+		"number of journal WAL lanes (>1 shards runtime state by ballot serial with per-lane "+
+			"group-commit fsync and copy-on-write snapshots — the Fig. 5a pool knob; requires -data-dir)")
+	journalPolicy := flag.String("journal-policy", "available",
+		"journal-append-error ack policy: 'available' counts errors and keeps serving from memory, "+
+			"'strict' refuses ENDORSEMENT replies and receipts whose record did not land "+
+			"(the safer election-day setting; requires -data-dir, pair with -fsync for "+
+			"power-loss durability of every ack)")
 	flag.Parse()
 	if *initPath == "" {
 		log.Fatal("-init is required")
@@ -76,13 +84,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy, err := vc.ParseAckPolicy(*journalPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *dataDir != "" {
-		if err := node.RecoverWithOptions(*dataDir, vc.JournalOptions{Fsync: *fsync}); err != nil {
+		jopts := vc.JournalOptions{Fsync: *fsync, Pool: *journalPool, Policy: policy}
+		if err := node.RecoverWithOptions(*dataDir, jopts); err != nil {
 			log.Fatalf("recovering runtime state from %s: %v", *dataDir, err)
 		}
-		log.Printf("recovered runtime state from %s (fsync=%v)", *dataDir, *fsync)
-	} else if *fsync {
-		log.Fatal("-fsync requires -data-dir")
+		log.Printf("recovered runtime state from %s (fsync=%v pool=%d policy=%s)",
+			*dataDir, *fsync, *journalPool, policy)
+	} else {
+		switch {
+		case *fsync:
+			log.Fatal("-fsync requires -data-dir")
+		case *journalPool > 1:
+			log.Fatal("-journal-pool requires -data-dir")
+		case policy != vc.PolicyAvailable:
+			log.Fatal("-journal-policy strict requires -data-dir")
+		}
 	}
 	node.Start()
 	defer node.Stop()

@@ -1,0 +1,198 @@
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the per-commit benchmark trend half of the CI pipeline: the
+// baseline gate (benchjson.go) compares one run against fixed ratio bounds,
+// while the history chain accumulates every run's absolute numbers in a
+// committed BENCH_HISTORY.jsonl (one Report per line) and the trend check
+// flags slow monotone erosion the per-run gate cannot see — three runs each
+// a little worse than the last stay inside any single-run tolerance.
+
+// ReadHistory parses a BENCH_HISTORY.jsonl stream: one JSON-encoded Report
+// per line, oldest first. Blank lines are skipped; a malformed line is an
+// error (the chain is append-only, so corruption means a bad merge).
+func ReadHistory(r io.Reader) ([]Report, error) {
+	var out []Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rep Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return nil, fmt.Errorf("benchjson: history line %d: %w", line, err)
+		}
+		out = append(out, rep)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading history: %w", err)
+	}
+	return out, nil
+}
+
+// AppendHistory writes one Report as a single JSONL line.
+func AppendHistory(w io.Writer, rep Report) error {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("benchjson: history entry: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := w.Write(raw); err != nil {
+		return fmt.Errorf("benchjson: appending history: %w", err)
+	}
+	return nil
+}
+
+// AppendHistoryFile appends rep to the JSONL chain at path, creating it if
+// needed.
+func AppendHistoryFile(path string, rep Report) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("benchjson: history file: %w", err)
+	}
+	if err := AppendHistory(f, rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TrendWindow is how many consecutive runs a monotone decline must span to
+// be flagged.
+const TrendWindow = 3
+
+// DefaultTrendMinDrop is the cumulative relative change below which a
+// monotone run is treated as noise (5% across the window).
+const DefaultTrendMinDrop = 0.05
+
+// AbsoluteTrendMinDrop is the noise floor for absolute throughput metrics:
+// raw op/s numbers vary more across shared runners than ratios, so a
+// monotone move must be larger to flag.
+const AbsoluteTrendMinDrop = 0.10
+
+// Trend flags metrics that moved monotonically against their direction
+// across the last TrendWindow history entries. Two metric sets are
+// examined: every baseline-registered metric (direction from the entry),
+// and — the point of the chain — every *absolute* throughput metric in the
+// history (names ending "/sec", higher-is-better by convention), which the
+// per-run ratio gate cannot see: a change that slows both sides of a ratio
+// keeps the ratio flat while the absolute numbers erode. A flag requires a
+// strictly monotone move at every step plus a cumulative change of at
+// least minDrop (default 5%; absolute metrics use at least 10%). Metrics
+// present in fewer than TrendWindow of the trailing entries are skipped
+// (the chain is still warming up, or the benchmark was dropped).
+func Trend(history []Report, base Baseline, minDrop float64) []string {
+	if minDrop <= 0 {
+		minDrop = DefaultTrendMinDrop
+	}
+	var flags []string
+	type key struct{ bench, metric string }
+	seen := make(map[key]bool)
+	check := func(bench, metric, direction string, drop float64) {
+		k := key{bench, metric}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		vals, dates := metricSeries(history, bench, metric, TrendWindow)
+		if len(vals) < TrendWindow {
+			return
+		}
+		first, last := vals[0], vals[len(vals)-1]
+		if first == 0 {
+			return
+		}
+		switch direction {
+		case "lower":
+			if monotone(vals, +1) && (last-first)/first >= drop {
+				flags = append(flags, fmt.Sprintf(
+					"%s %s: rose monotonically across %d runs (%s): %.4g -> %.4g (+%.1f%%)",
+					bench, metric, len(vals), dateRange(dates), first, last, (last-first)/first*100))
+			}
+		default: // "higher"
+			if monotone(vals, -1) && (first-last)/first >= drop {
+				flags = append(flags, fmt.Sprintf(
+					"%s %s: declined monotonically across %d runs (%s): %.4g -> %.4g (-%.1f%%)",
+					bench, metric, len(vals), dateRange(dates), first, last, (first-last)/first*100))
+			}
+		}
+	}
+	for _, e := range base.Entries {
+		check(e.Benchmark, e.Metric, e.Direction, minDrop)
+	}
+	absDrop := minDrop
+	if absDrop < AbsoluteTrendMinDrop {
+		absDrop = AbsoluteTrendMinDrop
+	}
+	start := len(history) - TrendWindow
+	if start < 0 {
+		start = 0
+	}
+	for _, rep := range history[start:] {
+		for _, row := range rep.Rows {
+			for metric := range row.Metrics {
+				if strings.HasSuffix(metric, "/sec") {
+					check(row.Benchmark, metric, "higher", absDrop)
+				}
+			}
+		}
+	}
+	sort.Strings(flags)
+	return flags
+}
+
+// metricSeries extracts the metric's values from the trailing `window`
+// history entries, oldest first. Only the last `window` reports are
+// consulted — a metric that stopped being collected goes quiet instead of
+// re-flagging its stale tail forever.
+func metricSeries(history []Report, bench, metric string, window int) (vals []float64, dates []string) {
+	start := len(history) - window
+	if start < 0 {
+		start = 0
+	}
+	for _, rep := range history[start:] {
+		for _, row := range rep.Rows {
+			if row.Benchmark != bench {
+				continue
+			}
+			if v, ok := row.Metrics[metric]; ok {
+				vals = append(vals, v)
+				dates = append(dates, rep.Date)
+			}
+			break
+		}
+	}
+	return vals, dates
+}
+
+// monotone reports whether vals move strictly in direction sign (+1 rising,
+// -1 falling) at every step.
+func monotone(vals []float64, sign int) bool {
+	for i := 1; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		if sign > 0 && d <= 0 || sign < 0 && d >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func dateRange(dates []string) string {
+	if len(dates) == 0 {
+		return ""
+	}
+	return dates[0] + " .. " + dates[len(dates)-1]
+}

@@ -1,0 +1,168 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func histReport(date string, bench, metric string, v float64) Report {
+	return Report{Date: date, Rows: []Row{{
+		Benchmark: bench, Iterations: 1, Metrics: map[string]float64{metric: v},
+	}}}
+}
+
+func trendBase(direction string) Baseline {
+	metric := "votes/sec"
+	if direction == "lower" {
+		metric = "ms/vote"
+	}
+	return Baseline{Entries: []BaselineEntry{{
+		Benchmark: "BenchmarkX", Metric: metric, Value: 100, Direction: direction,
+	}}}
+}
+
+func TestTrendFlagsMonotoneDecline(t *testing.T) {
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkX", "votes/sec", 92),
+		histReport("2026-07-03", "BenchmarkX", "votes/sec", 85),
+	}
+	flags := Trend(hist, trendBase("higher"), 0)
+	if len(flags) != 1 {
+		t.Fatalf("want 1 flag, got %v", flags)
+	}
+	if !strings.Contains(flags[0], "declined monotonically") {
+		t.Fatalf("unexpected flag: %s", flags[0])
+	}
+}
+
+func TestTrendUsesTrailingWindow(t *testing.T) {
+	// An old decline followed by a recovery must not flag: only the last
+	// three runs count.
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkX", "votes/sec", 80),
+		histReport("2026-07-03", "BenchmarkX", "votes/sec", 60),
+		histReport("2026-07-04", "BenchmarkX", "votes/sec", 95),
+	}
+	if flags := Trend(hist, trendBase("higher"), 0); len(flags) != 0 {
+		t.Fatalf("recovered series flagged: %v", flags)
+	}
+}
+
+func TestTrendIgnoresNoiseAndNonMonotone(t *testing.T) {
+	// Monotone but tiny (< minDrop): noise.
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkX", "votes/sec", 99.5),
+		histReport("2026-07-03", "BenchmarkX", "votes/sec", 99),
+	}
+	if flags := Trend(hist, trendBase("higher"), 0); len(flags) != 0 {
+		t.Fatalf("1%% drift flagged: %v", flags)
+	}
+	// Large but non-monotone: a blip, not a trend.
+	hist = []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkX", "votes/sec", 110),
+		histReport("2026-07-03", "BenchmarkX", "votes/sec", 70),
+	}
+	if flags := Trend(hist, trendBase("higher"), 0); len(flags) != 0 {
+		t.Fatalf("non-monotone drop flagged: %v", flags)
+	}
+}
+
+func TestTrendLowerDirectionFlagsRise(t *testing.T) {
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkX", "ms/vote", 10),
+		histReport("2026-07-02", "BenchmarkX", "ms/vote", 12),
+		histReport("2026-07-03", "BenchmarkX", "ms/vote", 14),
+	}
+	flags := Trend(hist, trendBase("lower"), 0)
+	if len(flags) != 1 || !strings.Contains(flags[0], "rose monotonically") {
+		t.Fatalf("want rise flag, got %v", flags)
+	}
+}
+
+func TestTrendScansAbsoluteThroughputMetricsBeyondBaseline(t *testing.T) {
+	// The erosion case the ratio gate cannot see: a "/sec" metric with no
+	// baseline entry declines monotonically — must flag (at the stricter
+	// 10% absolute floor).
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkZ", "pool4-appends/sec", 10000),
+		histReport("2026-07-02", "BenchmarkZ", "pool4-appends/sec", 8500),
+		histReport("2026-07-03", "BenchmarkZ", "pool4-appends/sec", 7000),
+	}
+	flags := Trend(hist, Baseline{}, 0)
+	if len(flags) != 1 || !strings.Contains(flags[0], "pool4-appends/sec") {
+		t.Fatalf("absolute /sec decline not flagged: %v", flags)
+	}
+	// A monotone absolute move under the 10% floor stays quiet.
+	hist = []Report{
+		histReport("2026-07-01", "BenchmarkZ", "pool4-appends/sec", 10000),
+		histReport("2026-07-02", "BenchmarkZ", "pool4-appends/sec", 9700),
+		histReport("2026-07-03", "BenchmarkZ", "pool4-appends/sec", 9300),
+	}
+	if flags := Trend(hist, Baseline{}, 0); len(flags) != 0 {
+		t.Fatalf("7%% absolute drift flagged: %v", flags)
+	}
+	// Non-/sec metrics without baseline entries are not scanned.
+	hist = []Report{
+		histReport("2026-07-01", "BenchmarkZ", "B/op", 100),
+		histReport("2026-07-02", "BenchmarkZ", "B/op", 50),
+		histReport("2026-07-03", "BenchmarkZ", "B/op", 10),
+	}
+	if flags := Trend(hist, Baseline{}, 0); len(flags) != 0 {
+		t.Fatalf("unregistered non-throughput metric flagged: %v", flags)
+	}
+}
+
+func TestTrendGoesQuietWhenMetricStopsAppearing(t *testing.T) {
+	// A declining series followed by runs without the metric (benchmark
+	// renamed/dropped) must stop flagging: only the trailing window counts.
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkX", "votes/sec", 80),
+		histReport("2026-07-03", "BenchmarkX", "votes/sec", 60),
+		histReport("2026-07-04", "BenchmarkY", "other", 1),
+		histReport("2026-07-05", "BenchmarkY", "other", 1),
+		histReport("2026-07-06", "BenchmarkY", "other", 1),
+	}
+	if flags := Trend(hist, trendBase("higher"), 0); len(flags) != 0 {
+		t.Fatalf("stale tail re-flagged: %v", flags)
+	}
+}
+
+func TestTrendSkipsShortHistory(t *testing.T) {
+	hist := []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkX", "votes/sec", 50),
+	}
+	if flags := Trend(hist, trendBase("higher"), 0); len(flags) != 0 {
+		t.Fatalf("two-run chain flagged: %v", flags)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reps := []Report{
+		histReport("2026-07-01", "BenchmarkX", "votes/sec", 100),
+		histReport("2026-07-02", "BenchmarkY", "wal-ratio", 0.85),
+	}
+	for _, r := range reps {
+		if err := AppendHistory(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Date != "2026-07-01" || got[1].Rows[0].Benchmark != "BenchmarkY" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// A corrupt line is an error, not a silent skip.
+	if _, err := ReadHistory(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("corrupt history line must fail")
+	}
+}

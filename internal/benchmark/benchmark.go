@@ -43,7 +43,10 @@ type Config struct {
 	WAL      bool
 	WALFsync bool
 	WALDir   string
-	Seed     string
+	// JournalPool shards the journal into this many WAL lanes when > 1
+	// (the Fig. 5a pool knob applied to runtime state; requires WAL).
+	JournalPool int
+	Seed        string
 	// TransportOptions selects the inter-VC channel configuration (the
 	// batched-vs-unbatched ablation of Fig. 5b).
 	TransportOptions
@@ -127,6 +130,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		clusterOpts.DataDir = dir
 		clusterOpts.Fsync = cfg.WALFsync
+		clusterOpts.JournalPool = cfg.JournalPool
 	}
 	if cfg.Disk {
 		dir := cfg.DiskDir

@@ -80,8 +80,16 @@ type Options struct {
 	// batched group-commit cadence.
 	Fsync bool
 	// SnapshotEvery overrides the journal's snapshot threshold (records
-	// between snapshot+truncate cycles; 0 = default).
+	// between snapshot+truncate cycles; 0 = adaptive cadence).
 	SnapshotEvery int
+	// JournalPool selects the sharded journal backend when > 1: that many
+	// WAL lanes hashed by ballot serial, each with its own group-commit
+	// fsync loop and copy-on-write snapshots — the runtime-state analogue
+	// of the paper's Fig. 5a connection-pool sweep.
+	JournalPool int
+	// JournalPolicy selects the journal-append-error ack policy
+	// (vc.PolicyAvailable or vc.PolicyStrict).
+	JournalPolicy vc.AckPolicy
 }
 
 // Cluster is a fully wired in-process election deployment.
@@ -233,7 +241,12 @@ func (c *Cluster) buildVC(i int) (*vc.Node, error) {
 	}
 	if opts.DataDir != "" {
 		dir := filepath.Join(opts.DataDir, fmt.Sprintf("vc-%d", i))
-		jopts := vc.JournalOptions{Fsync: opts.Fsync, SnapshotEvery: opts.SnapshotEvery}
+		jopts := vc.JournalOptions{
+			Fsync:         opts.Fsync,
+			SnapshotEvery: opts.SnapshotEvery,
+			Pool:          opts.JournalPool,
+			Policy:        opts.JournalPolicy,
+		}
 		if err := node.RecoverWithOptions(dir, jopts); err != nil {
 			return nil, fmt.Errorf("core: recovering vc %d: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -109,7 +110,23 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 			_ = f.Close()
 			return nil, err
 		}
-		if valid < st.Size() {
+		if valid < walHeaderSize {
+			// The header itself is torn (a crash while the file was being
+			// created): start over with an empty log.
+			if err := f.Truncate(0); err != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("store: truncate torn wal header: %w", err)
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("store: seek wal: %w", err)
+			}
+			if err := writeWALHeader(f); err != nil {
+				_ = f.Close()
+				return nil, err
+			}
+			valid, n = walHeaderSize, 0
+		} else if valid < st.Size() {
 			// Torn tail from a crash mid-append: cut it away so the next
 			// record extends a clean prefix.
 			if err := f.Truncate(valid); err != nil {
@@ -130,11 +147,15 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 	return w, nil
 }
 
-func writeWALHeader(f *os.File) error {
+func canonicalWALHeader() []byte {
 	hdr := make([]byte, walHeaderSize)
 	copy(hdr, walMagic)
 	binary.BigEndian.PutUint16(hdr[4:], walVersion)
-	if _, err := f.Write(hdr); err != nil {
+	return hdr
+}
+
+func writeWALHeader(f *os.File) error {
+	if _, err := f.Write(canonicalWALHeader()); err != nil {
 		return fmt.Errorf("store: write wal header: %w", err)
 	}
 	return nil
@@ -298,8 +319,18 @@ func scanWAL(f *os.File, fn func(payload []byte) error) (int64, int, error) {
 		return 0, 0, fmt.Errorf("store: seek wal: %w", err)
 	}
 	hdr := make([]byte, walHeaderSize)
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		return 0, 0, fmt.Errorf("store: wal too short for header: %w", err)
+	if n, err := io.ReadFull(f, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Shorter than a header. A crash mid-creation tears the header
+			// write, leaving a strict prefix of the canonical bytes — treat
+			// that as an empty log (callers rewrite the header). Anything
+			// else this small is a foreign file and must not be clobbered.
+			if bytes.HasPrefix(canonicalWALHeader(), hdr[:n]) {
+				return 0, 0, nil
+			}
+			return 0, 0, fmt.Errorf("store: %s is not a wal file", f.Name())
+		}
+		return 0, 0, fmt.Errorf("store: wal header: %w", err)
 	}
 	if string(hdr[:4]) != walMagic {
 		return 0, 0, fmt.Errorf("store: %s is not a wal file", f.Name())

@@ -149,6 +149,51 @@ func TestWALTornTail(t *testing.T) {
 	}
 }
 
+func TestWALTornHeader(t *testing.T) {
+	// A crash while the file was being created can leave fewer bytes than
+	// the header. Replay must treat it as an empty log and reopen must
+	// rebuild a usable file (the pooled journal rotates segments at
+	// snapshot time, so fresh-file creation is a recurring crash point).
+	dir := t.TempDir()
+	for cut := 0; cut < walHeaderSize; cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("hdr-%d", cut))
+		if err := os.WriteFile(path, []byte("DDWL\x00\x01\x00\x00")[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if got := replayAll(t, path); len(got) != 0 {
+			t.Fatalf("cut %d: torn header replayed %d records", cut, len(got))
+		}
+		w, err := OpenWAL(path, WALOptions{SyncEachAppend: true})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if err := w.Append([]byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := replayAll(t, path); len(got) != 1 || string(got[0]) != "fresh" {
+			t.Fatalf("cut %d: rebuilt log replayed %q", cut, got)
+		}
+	}
+	// A small foreign file that is NOT a header prefix must be refused, not
+	// clobbered: only genuine torn headers get the rebuild treatment.
+	foreign := filepath.Join(dir, "foreign")
+	if err := os.WriteFile(foreign, []byte("hi!"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(foreign, WALOptions{}); err == nil {
+		t.Fatal("foreign sub-header file opened (and clobbered) as a wal")
+	}
+	if data, err := os.ReadFile(foreign); err != nil || string(data) != "hi!" {
+		t.Fatalf("foreign file content changed: %q %v", data, err)
+	}
+	if _, err := ReplayWAL(foreign, nil); err == nil {
+		t.Fatal("foreign sub-header file replayed as a wal")
+	}
+}
+
 func TestWALCorruptRecordStopsReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	w, err := OpenWAL(path, WALOptions{SyncEachAppend: true})

@@ -9,7 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ddemos/internal/crypto/group"
@@ -54,7 +56,43 @@ const (
 const (
 	journalWALFile      = "wal"
 	journalSnapshotFile = "snapshot"
+	journalFormatFile   = "FORMAT"
 )
+
+// AckPolicy selects what a node does when a journal append fails while an
+// externally visible ack (ENDORSEMENT reply, receipt release, consensus
+// result) depends on the record.
+type AckPolicy uint8
+
+// Ack policies.
+const (
+	// PolicyAvailable counts the error and keeps serving from memory —
+	// availability over durability, today's default.
+	PolicyAvailable AckPolicy = iota
+	// PolicyStrict refuses the ack: no ENDORSEMENT reply and no receipt
+	// leaves the node without a durable journal record backing it. The
+	// safer election-day default when the journal is the system of record.
+	PolicyStrict
+)
+
+// String implements fmt.Stringer.
+func (p AckPolicy) String() string {
+	if p == PolicyStrict {
+		return "strict"
+	}
+	return "available"
+}
+
+// ParseAckPolicy parses the -journal-policy flag values.
+func ParseAckPolicy(s string) (AckPolicy, error) {
+	switch s {
+	case "", "available":
+		return PolicyAvailable, nil
+	case "strict":
+		return PolicyStrict, nil
+	}
+	return 0, fmt.Errorf("vc: unknown journal policy %q (want available or strict)", s)
+}
 
 // JournalOptions tunes a node's persistence layer.
 type JournalOptions struct {
@@ -67,36 +105,90 @@ type JournalOptions struct {
 	// 2ms, the same order as the transport batch flush window, so journal
 	// syncs coalesce with message batches).
 	SyncEvery time.Duration
-	// SnapshotEvery triggers a snapshot + log truncation after this many
-	// appended records (default 4096).
+	// SnapshotEvery, when > 0, overrides the adaptive cadence with a fixed
+	// record-count trigger (the pre-pool behaviour; 0 = adaptive).
 	SnapshotEvery int
+	// SnapshotBytes is the adaptive-cadence byte trigger: snapshot once the
+	// un-snapshotted log exceeds this many payload bytes (default 1 MiB).
+	SnapshotBytes int64
+	// TargetReplay is the adaptive-cadence replay budget: snapshot once the
+	// estimated time to replay the un-snapshotted log (records × measured
+	// per-record apply cost) exceeds it (default 200ms).
+	TargetReplay time.Duration
+	// Pool selects the sharded backend when > 1: that many WAL lanes hashed
+	// by ballot serial, each with its own group-commit fsync loop and
+	// copy-on-write snapshots (the runtime-state analogue of the paper's
+	// Fig. 5a connection-pool sweep). <= 1 keeps the single-WAL engine.
+	Pool int
+	// Policy selects the journal-append-error ack policy.
+	Policy AckPolicy
 }
 
 func (o JournalOptions) withDefaults() JournalOptions {
-	if o.SnapshotEvery <= 0 {
-		o.SnapshotEvery = 4096
+	if o.SnapshotBytes <= 0 {
+		o.SnapshotBytes = 1 << 20
+	}
+	if o.TargetReplay <= 0 {
+		o.TargetReplay = 200 * time.Millisecond
 	}
 	return o
 }
 
-// Journal is the WAL + snapshot pair backing one node's runtime state.
-type Journal struct {
-	dir  string
-	opts JournalOptions
-	// mu gates appends against snapshots: Snapshot holds it across
-	// state-capture + snapshot-write + log-truncation, so no record can
-	// land after the capture and vanish in the truncation. Appenders
-	// therefore must never hold a ballot/shard/vsc lock while appending —
-	// the state capture takes those.
-	mu  sync.Mutex
-	wal *store.WAL
+// StateSource serializes one lane's share of a node's runtime state as
+// journal records — the snapshot payload. lane is in [0, lanes); a single
+// lane receives the whole state. Callers invoke it without holding any
+// journal lock, so captures run concurrently with appends.
+type StateSource func(lane, lanes int) [][]byte
+
+// JournalBackend is the storage engine behind a node's runtime-state
+// journal. Three implementations ship: Journal (the single-WAL engine),
+// PooledJournal (sharded WAL lanes with concurrent snapshots), and
+// MemJournal (in-memory, for tests). Records are opaque monotone facts:
+// replay is order-independent and idempotent, which every backend relies on
+// for snapshot/log overlap tolerance.
+type JournalBackend interface {
+	// Replay streams every persisted record — snapshots first, then the
+	// logs — into fn. Backends measure the replay to calibrate the
+	// adaptive snapshot cadence.
+	Replay(fn func(payload []byte) error) error
+	// Append durably logs records (lane routing, if any, is by the ballot
+	// serial embedded in each record).
+	Append(recs [][]byte) error
+	// MaybeSnapshot captures lanes whose un-snapshotted debt crossed the
+	// cadence threshold, invoking done once per completed (nil) or failed
+	// attempt. Pooled lanes capture copy-on-write in the background, so
+	// appends are never blocked by an in-flight snapshot.
+	MaybeSnapshot(state StateSource, done func(error))
+	// Sync forces everything appended so far to stable storage.
+	Sync() error
+	// Close syncs and closes the backend, waiting out in-flight snapshots.
+	Close() error
 }
 
-// OpenJournal opens (creating if needed) the data directory and its log,
-// truncating any torn tail left by a crash.
-func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+// OpenJournal opens (creating if needed) the data directory and its
+// engine — single-WAL for opts.Pool <= 1, pooled otherwise — truncating any
+// torn tail left by a crash. A directory written by one engine refuses to
+// open under the other: the FORMAT marker is the fast check, and the
+// engines' own file layouts (legacy `wal` vs `wal-<k>.<seq>` lanes) are the
+// authoritative guard, so a marker torn by a crash at first open cannot
+// strand records or poison the directory.
+func OpenJournal(dir string, opts JournalOptions) (JournalBackend, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("vc: journal dir %s: %w", dir, err)
+	}
+	if opts.Pool > 1 {
+		return openPooledJournal(dir, opts)
+	}
+	// Structural guard before the marker: a directory holding pooled lane
+	// segments must not silently open (and strand them) as single-WAL.
+	if lanes, err := anyLaneSegments(dir); err != nil {
+		return nil, err
+	} else if lanes {
+		return nil, fmt.Errorf("vc: journal dir %s holds pooled lane records; "+
+			"reopen with the matching -journal-pool setting", dir)
+	}
+	if err := checkJournalFormat(dir, "single"); err != nil {
+		return nil, err
 	}
 	wal, err := store.OpenWAL(filepath.Join(dir, journalWALFile), store.WALOptions{
 		SyncEvery:      opts.SyncEvery,
@@ -108,50 +200,218 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
 	return &Journal{dir: dir, opts: opts.withDefaults(), wal: wal}, nil
 }
 
+// anyLaneSegments reports whether dir holds pooled lane files.
+func anyLaneSegments(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, fmt.Errorf("vc: journal dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "snapshot-") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// checkJournalFormat stamps (or verifies) the directory's engine marker.
+// The marker is written atomically (temp + fsync + rename) and an invalid
+// one — empty or torn by a crash during a previous first open — is
+// rewritten rather than trusted: cross-engine protection comes from the
+// structural layout guards, the marker only makes the mismatch error
+// friendly.
+func checkJournalFormat(dir, want string) error {
+	path := filepath.Join(dir, journalFormatFile)
+	got, err := os.ReadFile(path)
+	switch {
+	case err == nil && validFormatMarker(string(got)):
+		if s := string(got); s != want {
+			return fmt.Errorf("vc: journal dir %s holds %q records, not %q — "+
+				"reopen with the matching -journal-pool setting", dir, s, want)
+		}
+		return nil
+	case err != nil && !os.IsNotExist(err):
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	return writeFormatMarker(dir, path, want)
+}
+
+// validFormatMarker recognizes intact marker contents.
+func validFormatMarker(s string) bool {
+	if s == "single" {
+		return true
+	}
+	var n int
+	_, err := fmt.Sscanf(s, "pooled %d", &n)
+	return err == nil && n > 1
+}
+
+// writeFormatMarker lands the marker atomically and durably.
+func writeFormatMarker(dir, path, want string) error {
+	tmp, err := os.CreateTemp(dir, journalFormatFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.WriteString(want); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	// Sync the directory so the marker survives power loss — it is written
+	// before any lane/log file is created, so a durable marker means the
+	// lane layout can never exist without its pool size on record.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("vc: journal format marker: %w", err)
+	}
+	return d.Close()
+}
+
+// Journal is the single-WAL engine: one log + one snapshot file. Snapshots
+// block appends for the capture (the original engine, kept for small
+// deployments and on-disk compatibility); the pooled engine trades that
+// stall away.
+type Journal struct {
+	dir  string
+	opts JournalOptions
+	// mu gates appends against snapshots: the snapshot holds it across
+	// state-capture + snapshot-write + log-truncation, so no record can
+	// land after the capture and vanish in the truncation. Appenders
+	// therefore must never hold a ballot/shard/vsc lock while appending —
+	// the state capture takes those.
+	mu           sync.Mutex
+	wal          *store.WAL
+	bytes        int64 // payload bytes appended since the last snapshot
+	snapshotting bool
+	perRecord    atomic.Int64 // measured replay ns/record (adaptive cadence)
+}
+
 // Dir returns the journal's data directory.
 func (j *Journal) Dir() string { return j.dir }
 
-// Replay streams every persisted record — snapshot first, then the log —
-// into fn.
+// Replay implements JournalBackend.
 func (j *Journal) Replay(fn func(payload []byte) error) error {
-	if _, err := store.ReplayWAL(filepath.Join(j.dir, journalSnapshotFile), fn); err != nil {
+	t0 := time.Now()
+	n, err := store.ReplayWAL(filepath.Join(j.dir, journalSnapshotFile), fn)
+	if err != nil {
 		return err
 	}
-	_, err := store.ReplayWAL(filepath.Join(j.dir, journalWALFile), fn)
-	return err
+	m, err := store.ReplayWAL(filepath.Join(j.dir, journalWALFile), fn)
+	if err != nil {
+		return err
+	}
+	observeReplayCost(&j.perRecord, time.Since(t0), n+m)
+	return nil
 }
 
-// Append logs records, reporting whether the log has grown past the
-// snapshot threshold (the caller then runs Snapshot; a late or skipped
-// snapshot costs replay time, never correctness).
-func (j *Journal) Append(recs [][]byte) (snapshotDue bool, err error) {
+// Append implements JournalBackend.
+func (j *Journal) Append(recs [][]byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.wal.AppendBatch(recs); err != nil {
-		return false, err
+		return err
 	}
-	return j.wal.Records() >= int64(j.opts.SnapshotEvery), nil
+	for _, r := range recs {
+		j.bytes += int64(len(r))
+	}
+	return nil
 }
 
-// Sync forces everything appended so far to stable storage.
-func (j *Journal) Sync() error { return j.wal.Sync() }
+// MaybeSnapshot implements JournalBackend: a synchronous snapshot + log
+// truncation when the cadence triggers. Appends block for the capture.
+func (j *Journal) MaybeSnapshot(state StateSource, done func(error)) {
+	j.mu.Lock()
+	due := !j.snapshotting &&
+		snapshotDue(j.opts, j.wal.Records(), j.bytes, j.perRecord.Load())
+	if due {
+		j.snapshotting = true
+	}
+	j.mu.Unlock()
+	if !due {
+		return
+	}
+	err := j.snapshot(state)
+	j.mu.Lock()
+	j.snapshotting = false
+	j.mu.Unlock()
+	done(err)
+}
 
-// Snapshot atomically replaces the snapshot file with the records produced
+// snapshot atomically replaces the snapshot file with the records produced
 // by state and truncates the log. Appends are blocked for the duration, so
 // the capture covers every logged transition; a crash between the snapshot
 // rename and the truncation merely replays records the snapshot already
 // holds (harmless: application is idempotent).
-func (j *Journal) Snapshot(state func() [][]byte) error {
+func (j *Journal) snapshot(state StateSource) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := store.WriteWALFile(filepath.Join(j.dir, journalSnapshotFile), state()); err != nil {
+	if err := store.WriteWALFile(filepath.Join(j.dir, journalSnapshotFile), state(0, 1)); err != nil {
 		return err
 	}
-	return j.wal.Reset()
+	if err := j.wal.Reset(); err != nil {
+		return err
+	}
+	j.bytes = 0
+	return nil
 }
 
-// Close syncs and closes the journal.
+// Sync implements JournalBackend.
+func (j *Journal) Sync() error { return j.wal.Sync() }
+
+// Close implements JournalBackend.
 func (j *Journal) Close() error { return j.wal.Close() }
+
+// snapshotDue is the shared cadence policy: the legacy fixed record count
+// when SnapshotEvery is set, otherwise adaptive — bytes since the last
+// snapshot, or the estimated replay time of the un-snapshotted log
+// (records × the per-record cost measured during the last recovery).
+func snapshotDue(opts JournalOptions, records, bytes, perRecordNs int64) bool {
+	if opts.SnapshotEvery > 0 {
+		return records >= int64(opts.SnapshotEvery)
+	}
+	if bytes >= opts.SnapshotBytes {
+		return true
+	}
+	if perRecordNs <= 0 {
+		perRecordNs = defaultReplayNsPerRecord
+	}
+	return time.Duration(records*perRecordNs) >= opts.TargetReplay
+}
+
+// defaultReplayNsPerRecord estimates replay cost before any measured
+// recovery: ~2µs/record, the order observed for share/pending records.
+const defaultReplayNsPerRecord = 2000
+
+// observeReplayCost records a measured per-record replay cost (floored so a
+// cached tiny replay cannot push the estimate to zero and disable the
+// replay-time trigger).
+func observeReplayCost(dst *atomic.Int64, d time.Duration, records int) {
+	if records <= 0 {
+		return
+	}
+	per := int64(d) / int64(records)
+	if per < 500 {
+		per = 500
+	}
+	dst.Store(per)
+}
 
 // --- record encoding -------------------------------------------------------
 
@@ -193,6 +453,13 @@ func encVoted(serial uint64, code, receipt []byte) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, serial)
 	dst = jAppendBytes(dst, code)
 	return jAppendBytes(dst, receipt)
+}
+
+// EncodeVotedRecord builds a realistic voted-transition journal record —
+// exported for the journal-backend benchmarks (RunPoolAblation), which
+// drive backends directly with protocol-shaped records.
+func EncodeVotedRecord(serial uint64, code, receipt []byte) []byte {
+	return encVoted(serial, code, receipt)
 }
 
 func encVSC(set []VotedBallot) []byte {
@@ -280,18 +547,31 @@ func (n *Node) Recover(dir string) error {
 	return n.RecoverWithOptions(dir, JournalOptions{})
 }
 
-// RecoverWithOptions is Recover with explicit durability tuning.
+// RecoverWithOptions is Recover with explicit durability tuning (engine
+// selection, pool size, sync cadence, ack policy).
 func (n *Node) RecoverWithOptions(dir string, opts JournalOptions) error {
 	j, err := OpenJournal(dir, opts)
 	if err != nil {
 		return err
 	}
-	if err := j.Replay(n.applyJournalRecord); err != nil {
+	if err := n.RecoverBackend(j, opts.Policy); err != nil {
 		_ = j.Close()
+		return err
+	}
+	return nil
+}
+
+// RecoverBackend replays an already opened backend into the node and
+// attaches it — the entry point for custom backends (in-memory, fault
+// injection). The caller keeps ownership of the backend until this returns
+// nil; afterwards Stop closes it.
+func (n *Node) RecoverBackend(j JournalBackend, policy AckPolicy) error {
+	if err := j.Replay(n.applyJournalRecord); err != nil {
 		return err
 	}
 	n.finishRecovery()
 	n.journal = j
+	n.journalPolicy = policy
 	return nil
 }
 
@@ -319,6 +599,7 @@ func (n *Node) applyJournalRecord(payload []byte) error {
 			n.vscDone = true
 			n.vscResult = set
 		}
+		n.vscDurable = true // replayed from the journal, so it is on disk
 		n.vscMu.Unlock()
 		return nil
 	}
@@ -338,6 +619,7 @@ func (n *Node) applyJournalRecord(payload []byte) error {
 		if st.endorsedCode == nil {
 			st.endorsedCode = code
 		}
+		st.endorsedDurable = true
 	case recUCert:
 		cert := d.cert()
 		if d.bad || cert == nil {
@@ -354,6 +636,7 @@ func (n *Node) applyJournalRecord(payload []byte) error {
 		}
 		installCertLocked(st, code, cert)
 		st.part, st.row = part, int(row)
+		st.bindingDurable = true
 	case recShare:
 		index := d.u32()
 		value := d.bytes()
@@ -386,6 +669,7 @@ func (n *Node) applyJournalRecord(payload []byte) error {
 		if st.receipt == nil {
 			st.receipt = receipt
 		}
+		st.receiptDurable = true
 	default:
 		return fmt.Errorf("%w: unknown kind %d", errBadRecord, kind)
 	}
@@ -431,36 +715,71 @@ func (n *Node) finishRecovery() {
 
 // --- journaling hooks ------------------------------------------------------
 
-// journalAppend logs transition records (no-op without a journal). Must not
-// be called while holding any ballot or shard lock: a snapshot triggered
-// here serializes the whole state under those locks. Append errors are
-// counted, not fatal — the node keeps serving from memory (DESIGN.md,
+// strictJournal reports whether a journal failure must refuse the dependent
+// ack (Policy: Strict on a journaled node).
+func (n *Node) strictJournal() bool {
+	return n.journal != nil && n.journalPolicy == PolicyStrict
+}
+
+// journalAppend logs transition records (no-op without a journal), returning
+// nil once they are appended. What "appended" buys is the fsync policy's
+// call: records reach the OS before any ack (process-crash safe), and
+// JournalOptions.Fsync upgrades that to per-record power-loss durability —
+// Strict deployments should pair with it. Must not be called while holding
+// any ballot or shard lock: a snapshot triggered here serializes state under
+// those locks. On append failure the error is counted and returned — call
+// sites that gate an external ack consult strictJournal() to decide between
+// refusing the ack (Strict) and serving from memory (Available; DESIGN.md,
 // "Durability and recovery").
-func (n *Node) journalAppend(recs ...[]byte) {
+func (n *Node) journalAppend(recs ...[]byte) error {
 	j := n.journal
 	if j == nil || len(recs) == 0 {
-		return
+		return nil
 	}
-	due, err := j.Append(recs)
-	if err != nil {
+	if err := j.Append(recs); err != nil {
 		n.metrics.JournalErrors.Add(1)
-		return
+		return err
 	}
 	n.metrics.JournalRecords.Add(int64(len(recs)))
-	if due && n.snapshotting.CompareAndSwap(false, true) {
-		if err := j.Snapshot(n.serializeState); err != nil {
+	j.MaybeSnapshot(n.laneState, func(err error) {
+		if err != nil {
 			n.metrics.JournalErrors.Add(1)
 		} else {
 			n.metrics.Snapshots.Add(1)
 		}
-		n.snapshotting.Store(false)
+	})
+	return nil
+}
+
+// journalLaneOf routes a serial to its WAL lane (identity for one lane).
+func journalLaneOf(serial uint64, lanes int) int {
+	if lanes <= 1 {
+		return 0
 	}
+	return int(serial % uint64(lanes)) //nolint:gosec // lanes is small
+}
+
+// journalRecLane routes an encoded record to its WAL lane: per-ballot
+// records hash by the serial at bytes [1,9); the vote-set-consensus record
+// (no serial) always lands in lane 0.
+func journalRecLane(rec []byte, lanes int) int {
+	if lanes <= 1 || len(rec) < 9 || rec[0] == recVSC {
+		return 0
+	}
+	return journalLaneOf(binary.BigEndian.Uint64(rec[1:9]), lanes)
 }
 
 // serializeState dumps the node's entire runtime state as journal records —
-// the snapshot payload and the basis of StateHash. Deterministic: ballots
-// ordered by serial, shares by index.
+// the basis of StateHash and the single-lane snapshot payload.
 func (n *Node) serializeState() [][]byte {
+	return n.laneState(0, 1)
+}
+
+// laneState is the node's StateSource: lane's share of the runtime state
+// (every ballot whose serial hashes to lane, plus the consensus result in
+// lane 0) as journal records. Deterministic: ballots ordered by serial,
+// shares by index.
+func (n *Node) laneState(lane, lanes int) [][]byte {
 	type entry struct {
 		serial uint64
 		st     *ballotState
@@ -470,7 +789,9 @@ func (n *Node) serializeState() [][]byte {
 		sh := &n.shards[i]
 		sh.mu.Lock()
 		for serial, st := range sh.ballots {
-			entries = append(entries, entry{serial, st})
+			if journalLaneOf(serial, lanes) == lane {
+				entries = append(entries, entry{serial, st})
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -498,11 +819,13 @@ func (n *Node) serializeState() [][]byte {
 		}
 		st.mu.Unlock()
 	}
-	n.vscMu.Lock()
-	if n.vscDone {
-		out = append(out, encVSC(n.vscResult))
+	if lane == 0 {
+		n.vscMu.Lock()
+		if n.vscDone {
+			out = append(out, encVSC(n.vscResult))
+		}
+		n.vscMu.Unlock()
 	}
-	n.vscMu.Unlock()
 	return out
 }
 

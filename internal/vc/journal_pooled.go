@@ -1,0 +1,455 @@
+package vc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddemos/internal/store"
+)
+
+// PooledJournal is the sharded journal engine: N write-ahead-log lanes
+// hashed by ballot serial, each with its own group-commit fsync loop — the
+// runtime-state analogue of the paper's PostgreSQL connection pool (Fig. 5a
+// sweeps its size). Two properties distinguish it from the single-WAL
+// engine:
+//
+//   - Appends to different lanes proceed in parallel, so the per-append
+//     fsync (or group-commit mutex) of one lane never serializes the whole
+//     node. Ballot traffic is serial-affine, so a ballot's records always
+//     land in one lane in order (not that order matters: records are
+//     idempotent monotone facts).
+//
+//   - Snapshots are copy-on-write per lane: the snapshot seals the lane's
+//     active log segment, rotates appends onto a fresh segment, and only
+//     then captures state and writes the snapshot file in the background.
+//     Appends are never blocked by an in-flight capture — they just land in
+//     the new segment, which stays in the replay set.
+//
+// On-disk layout per lane k: segments "wal-<k>.<seq>" (ascending seq; the
+// highest is active) and the snapshot "snapshot-<k>". Replay order is
+// snapshot, then segments by seq. A crash at any point between seal,
+// snapshot write, and segment deletion only leaves extra records that the
+// snapshot already covers — idempotent replay makes the overlap benign.
+type PooledJournal struct {
+	dir       string
+	opts      JournalOptions
+	lanes     []*journalLane
+	perRecord atomic.Int64 // measured replay ns/record (adaptive cadence)
+
+	// snapMu serializes capture launches against Close: without it a
+	// MaybeSnapshot racing Close could Add after the Wait, leaving a
+	// capture running beyond Close's return.
+	snapMu sync.Mutex
+	snapWG sync.WaitGroup
+	closed bool
+}
+
+type journalLane struct {
+	idx int
+	dir string
+
+	mu           sync.Mutex
+	wal          *store.WAL // active segment
+	seq          uint64     // active segment sequence number
+	sealed       []string   // sealed segment paths awaiting snapshot+delete
+	bytes        int64      // payload bytes in the active segment
+	snapshotting bool
+
+	// Lock-free mirrors of the cadence inputs: MaybeSnapshot runs on every
+	// append and sweeps all lanes, so its not-due fast path must not take
+	// the other lanes' mutexes (that would re-serialize exactly the locks
+	// the pool exists to decouple). Kept in sync under mu; reads may be
+	// slightly stale, which only shifts a snapshot by one append.
+	fastRecords atomic.Int64
+	fastBytes   atomic.Int64
+	fastBusy    atomic.Bool
+}
+
+func laneSegmentName(lane int, seq uint64) string {
+	return fmt.Sprintf("wal-%d.%06d", lane, seq)
+}
+
+func laneSnapshotName(lane int) string {
+	return fmt.Sprintf("snapshot-%d", lane)
+}
+
+// openPooledJournal opens (creating if needed) a pooled journal of
+// opts.Pool lanes. The FORMAT marker pins both the engine and the lane
+// count: lane hashing and per-lane snapshots are only consistent for the
+// pool size the records were written under.
+func openPooledJournal(dir string, opts JournalOptions) (*PooledJournal, error) {
+	opts = opts.withDefaults()
+	// The legacy check must precede the marker stamp: a pre-marker
+	// single-WAL directory opened with the wrong pool flag must stay
+	// reopenable as single-WAL, not get poisoned with a pooled marker. Both
+	// legacy files count — after a snapshot cycle the state lives in
+	// `snapshot` and `wal` can legitimately be empty.
+	for _, legacyName := range []string{journalWALFile, journalSnapshotFile} {
+		if legacy, err := os.Stat(filepath.Join(dir, legacyName)); err == nil && legacy.Size() > 0 {
+			return nil, fmt.Errorf("vc: journal dir %s holds single-WAL records; "+
+				"reopen with -journal-pool 1", dir)
+		}
+	}
+	if err := checkJournalFormat(dir, fmt.Sprintf("pooled %d", opts.Pool)); err != nil {
+		return nil, err
+	}
+	// Stranding guard independent of the marker: replay only walks the
+	// configured lanes, so files from a higher lane index mean the
+	// directory was written under a larger pool.
+	if maxLane, any, err := maxLaneIndex(dir); err != nil {
+		return nil, err
+	} else if any && maxLane >= opts.Pool {
+		return nil, fmt.Errorf("vc: journal dir %s holds lane %d records beyond pool %d; "+
+			"reopen with the pool size the directory was written under", dir, maxLane, opts.Pool)
+	}
+	p := &PooledJournal{dir: dir, opts: opts}
+	for k := 0; k < opts.Pool; k++ {
+		lane, err := openJournalLane(dir, k, opts)
+		if err != nil {
+			_ = p.Close()
+			return nil, err
+		}
+		p.lanes = append(p.lanes, lane)
+	}
+	return p, nil
+}
+
+// openJournalLane scans the lane's existing segments: all but the newest
+// become sealed (they were rotated out by an earlier snapshot cycle that
+// did not finish deleting them) and the newest reopens for appending.
+func openJournalLane(dir string, idx int, opts JournalOptions) (*journalLane, error) {
+	segs, err := laneSegments(dir, idx)
+	if err != nil {
+		return nil, err
+	}
+	lane := &journalLane{idx: idx, dir: dir, seq: 1}
+	if n := len(segs); n > 0 {
+		lane.seq = segs[n-1]
+		for _, seq := range segs[:n-1] {
+			lane.sealed = append(lane.sealed, filepath.Join(dir, laneSegmentName(idx, seq)))
+		}
+	}
+	lane.wal, err = store.OpenWAL(filepath.Join(dir, laneSegmentName(idx, lane.seq)), store.WALOptions{
+		SyncEvery:      opts.SyncEvery,
+		SyncEachAppend: opts.Fsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lane.fastRecords.Store(lane.wal.Records())
+	return lane, nil
+}
+
+// maxLaneIndex scans the directory for the highest lane index any lane
+// file (segment or snapshot) refers to.
+func maxLaneIndex(dir string) (maxLane int, any bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, false, fmt.Errorf("vc: journal dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var lane int
+		switch {
+		case strings.HasPrefix(name, "wal-"):
+			dot := strings.IndexByte(name, '.')
+			if dot < 0 {
+				continue
+			}
+			lane64, perr := strconv.ParseInt(name[len("wal-"):dot], 10, 32)
+			if perr != nil {
+				continue
+			}
+			lane = int(lane64)
+		case strings.HasPrefix(name, "snapshot-"):
+			lane64, perr := strconv.ParseInt(name[len("snapshot-"):], 10, 32)
+			if perr != nil {
+				continue
+			}
+			lane = int(lane64)
+		default:
+			continue
+		}
+		if !any || lane > maxLane {
+			maxLane, any = lane, true
+		}
+	}
+	return maxLane, any, nil
+}
+
+// laneSegments lists a lane's segment sequence numbers, ascending.
+func laneSegments(dir string, lane int) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vc: journal dir %s: %w", dir, err)
+	}
+	prefix := fmt.Sprintf("wal-%d.", lane)
+	var seqs []uint64
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(e.Name()[len(prefix):], 10, 64)
+		if err != nil {
+			continue // foreign file; replay ignores it too
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i] < seqs[k] })
+	return seqs, nil
+}
+
+// Dir returns the journal's data directory.
+func (p *PooledJournal) Dir() string { return p.dir }
+
+// Lanes returns the pool size.
+func (p *PooledJournal) Lanes() int { return len(p.lanes) }
+
+// Replay implements JournalBackend: per lane, the snapshot then every
+// segment in sequence order. Lane order is irrelevant — records are
+// order-independent facts.
+func (p *PooledJournal) Replay(fn func(payload []byte) error) error {
+	t0 := time.Now()
+	total := 0
+	for _, lane := range p.lanes {
+		n, err := store.ReplayWAL(filepath.Join(p.dir, laneSnapshotName(lane.idx)), fn)
+		if err != nil {
+			return err
+		}
+		total += n
+		segs, err := laneSegments(p.dir, lane.idx)
+		if err != nil {
+			return err
+		}
+		for _, seq := range segs {
+			// The active segment is among these; ReplayWAL opens read-only,
+			// which is safe before any post-recovery append.
+			n, err = store.ReplayWAL(filepath.Join(p.dir, laneSegmentName(lane.idx, seq)), fn)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+	}
+	observeReplayCost(&p.perRecord, time.Since(t0), total)
+	return nil
+}
+
+// Append implements JournalBackend: records are routed to their serial's
+// lane and appended per lane in one batch. Lanes fail independently; the
+// first error is returned (Strict nodes then refuse the dependent ack —
+// duplicate records from the lanes that did succeed are harmless on
+// replay).
+func (p *PooledJournal) Append(recs [][]byte) error {
+	if len(p.lanes) == 1 {
+		return p.lanes[0].append(recs)
+	}
+	// The common case is a single-ballot batch: all records share one lane.
+	first := journalRecLane(recs[0], len(p.lanes))
+	single := true
+	for _, r := range recs[1:] {
+		if journalRecLane(r, len(p.lanes)) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return p.lanes[first].append(recs)
+	}
+	byLane := make(map[int][][]byte, 2)
+	for _, r := range recs {
+		k := journalRecLane(r, len(p.lanes))
+		byLane[k] = append(byLane[k], r)
+	}
+	var firstErr error
+	for k, group := range byLane {
+		if err := p.lanes[k].append(group); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (l *journalLane) append(recs [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.wal.AppendBatch(recs); err != nil {
+		return err
+	}
+	var n int64
+	for _, r := range recs {
+		n += int64(len(r))
+	}
+	l.bytes += n
+	l.fastBytes.Add(n)
+	l.fastRecords.Add(int64(len(recs)))
+	return nil
+}
+
+// MaybeSnapshot implements JournalBackend. For every lane past its cadence
+// threshold it seals the active segment under the lane lock (a rename-free
+// rotation: open the next segment, remember the sealed path), then captures
+// the lane's state and writes the snapshot in a background goroutine —
+// appends to the lane proceed on the fresh segment throughout. The capture
+// is taken after the seal, and every sealed record's state mutation
+// happened before its append returned, so the snapshot always covers the
+// sealed segments; records racing into the new segment replay as no-ops.
+func (p *PooledJournal) MaybeSnapshot(state StateSource, done func(error)) {
+	per := p.perRecord.Load()
+	for _, lane := range p.lanes {
+		// Lock-free not-due fast path: this sweep runs on every append, and
+		// touching the other lanes' mutexes here would re-serialize the
+		// pool. The mirrors may lag one append; the locked re-check below is
+		// authoritative.
+		if lane.fastBusy.Load() ||
+			!snapshotDue(p.opts, lane.fastRecords.Load(), lane.fastBytes.Load(), per) {
+			continue
+		}
+		lane.mu.Lock()
+		due := !lane.snapshotting && snapshotDue(p.opts, lane.wal.Records(), lane.bytes, per)
+		if !due {
+			lane.mu.Unlock()
+			continue
+		}
+		p.snapMu.Lock()
+		if p.closed {
+			p.snapMu.Unlock()
+			lane.mu.Unlock()
+			return
+		}
+		sealedPaths, err := lane.rotateLocked(p.opts)
+		if err != nil {
+			p.snapMu.Unlock()
+			lane.mu.Unlock()
+			done(err)
+			continue
+		}
+		lane.snapshotting = true
+		lane.fastBusy.Store(true)
+		p.snapWG.Add(1)
+		p.snapMu.Unlock()
+		lane.mu.Unlock()
+
+		go func(lane *journalLane, sealedPaths []string) {
+			defer p.snapWG.Done()
+			err := p.captureLane(lane, sealedPaths, state)
+			lane.mu.Lock()
+			lane.snapshotting = false
+			lane.fastBusy.Store(false)
+			lane.mu.Unlock()
+			done(err)
+		}(lane, sealedPaths)
+	}
+}
+
+// rotateLocked seals the active segment and opens the next one. Caller
+// holds lane.mu. Returns every sealed path the upcoming snapshot covers
+// (including leftovers from earlier failed cycles). The next segment is
+// opened *before* the active one is closed, so a transient open failure
+// (ENOSPC, EMFILE) leaves the lane fully serviceable on its current
+// segment and the rotation simply retries at the next cadence trigger.
+func (l *journalLane) rotateLocked(opts JournalOptions) ([]string, error) {
+	next, err := store.OpenWAL(filepath.Join(l.dir, laneSegmentName(l.idx, l.seq+1)), store.WALOptions{
+		SyncEvery:      opts.SyncEvery,
+		SyncEachAppend: opts.Fsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sealedPath := filepath.Join(l.dir, laneSegmentName(l.idx, l.seq))
+	if err := l.wal.Close(); err != nil {
+		// The sealed segment's data reached the OS on every append; the
+		// failed close only loses the final fsync. It stays in the replay
+		// set either way, so keep going on the fresh segment.
+		l.wal = next
+		l.seq++
+		l.sealed = append(l.sealed, sealedPath)
+		l.bytes = 0
+		l.fastBytes.Store(0)
+		l.fastRecords.Store(0)
+		return nil, err
+	}
+	l.sealed = append(l.sealed, sealedPath)
+	l.seq++
+	l.wal = next
+	l.bytes = 0
+	l.fastBytes.Store(0)
+	l.fastRecords.Store(0)
+	return append([]string(nil), l.sealed...), nil
+}
+
+// captureLane writes the lane's snapshot (copy-on-write: no lane lock held
+// during the state capture or the file write) and deletes the sealed
+// segments it covers.
+func (p *PooledJournal) captureLane(lane *journalLane, sealedPaths []string, state StateSource) error {
+	recs := state(lane.idx, len(p.lanes))
+	if err := store.WriteWALFile(filepath.Join(p.dir, laneSnapshotName(lane.idx)), recs); err != nil {
+		return err
+	}
+	for _, path := range sealedPaths {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	lane.mu.Lock()
+	lane.sealed = dropPaths(lane.sealed, sealedPaths)
+	lane.mu.Unlock()
+	return nil
+}
+
+func dropPaths(have, gone []string) []string {
+	goneSet := make(map[string]bool, len(gone))
+	for _, g := range gone {
+		goneSet[g] = true
+	}
+	out := have[:0]
+	for _, h := range have {
+		if !goneSet[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Sync implements JournalBackend.
+func (p *PooledJournal) Sync() error {
+	var firstErr error
+	for _, lane := range p.lanes {
+		lane.mu.Lock()
+		err := lane.wal.Sync()
+		lane.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements JournalBackend: waits out in-flight snapshot captures,
+// then syncs and closes every lane.
+func (p *PooledJournal) Close() error {
+	p.snapMu.Lock()
+	p.closed = true
+	p.snapMu.Unlock()
+	p.snapWG.Wait()
+	var firstErr error
+	for _, lane := range p.lanes {
+		if lane == nil || lane.wal == nil {
+			continue
+		}
+		lane.mu.Lock()
+		err := lane.wal.Close()
+		lane.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -19,6 +19,7 @@ type Metrics struct {
 	JournalRecords atomic.Int64 // transitions journaled to the WAL
 	JournalErrors  atomic.Int64 // failed journal appends/syncs (alarm on this)
 	Snapshots      atomic.Int64 // snapshot + log-truncation cycles
+	StrictRefusals atomic.Int64 // acks refused under Policy: Strict
 
 	EndorseNanos atomic.Int64 // cumulative endorsement-phase time (responder)
 	EndorseCount atomic.Int64
@@ -47,6 +48,7 @@ type Snapshot struct {
 	JournalRecords int64
 	JournalErrors  int64
 	Snapshots      int64
+	StrictRefusals int64
 
 	AvgEndorse time.Duration
 	AvgVote    time.Duration
@@ -64,6 +66,7 @@ func (n *Node) Metrics() Snapshot {
 		JournalRecords: n.metrics.JournalRecords.Load(),
 		JournalErrors:  n.metrics.JournalErrors.Load(),
 		Snapshots:      n.metrics.Snapshots.Load(),
+		StrictRefusals: n.metrics.StrictRefusals.Load(),
 	}
 	if c := n.metrics.EndorseCount.Load(); c > 0 {
 		s.AvgEndorse = time.Duration(n.metrics.EndorseNanos.Load() / c)

@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ddemos/internal/clock"
@@ -117,17 +116,20 @@ type Node struct {
 	endorseMu  sync.Mutex
 	collectors map[collectorKey]*endorseCollector
 
-	vscMu     sync.Mutex
-	vsc       *vscEngine
-	vscBuffer []bufferedMsg
-	vscDone   bool          // vote-set consensus completed (possibly recovered)
-	vscResult []VotedBallot // the agreed set, stable across restarts
+	vscMu      sync.Mutex
+	vsc        *vscEngine
+	vscBuffer  []bufferedMsg
+	vscDone    bool          // vote-set consensus completed (possibly recovered)
+	vscDurable bool          // the vsc record landed in the journal (Strict duty)
+	vscResult  []VotedBallot // the agreed set, stable across restarts
 
-	// journal, when attached via Recover, logs every ballot state
-	// transition before the node acts on it (DESIGN.md, "Durability and
-	// recovery"). nil = memory-only node.
-	journal      *Journal
-	snapshotting atomic.Bool
+	// journal, when attached via Recover/RecoverBackend, logs every ballot
+	// state transition before the node acts on it (DESIGN.md, "Durability
+	// and recovery"). nil = memory-only node. journalPolicy decides whether
+	// a failed append refuses the dependent ack (Strict) or counts and
+	// continues (Available).
+	journal       JournalBackend
+	journalPolicy AckPolicy
 
 	metrics Metrics
 
@@ -176,6 +178,15 @@ type ballotState struct {
 	sentVoteP    bool
 	receipt      []byte
 	waiters      []chan voteOutcome
+
+	// Durability marks, maintained for Strict-policy nodes: set when the
+	// endorsement / certified-binding / receipt record landed in the
+	// journal (or replayed from it). A Strict node re-attempts the append
+	// before serving the corresponding fast path or external action, so an
+	// ack can never ride on a record a failed journal silently dropped.
+	endorsedDurable bool
+	bindingDurable  bool
+	receiptDurable  bool
 }
 
 type voteOutcome struct {
@@ -370,7 +381,7 @@ func (n *Node) stage(from uint16, msg wire.Message, byWorker [][]job) int {
 		serial = m.Serial
 	case *wire.VoteP:
 		serial = m.Serial
-	case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse:
+	case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse, *wire.VSCFinal:
 		n.routeConsensus(from, msg)
 		return 0
 	default:
@@ -508,13 +519,17 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 	}
 	st := n.state(serial)
 
-	var newlyEndorsed bool
+	var newlyEndorsed, endorseDurable bool
 	st.mu.Lock()
 	switch st.status {
 	case Voted:
 		if bytes.Equal(st.usedCode, code) {
 			r := st.receipt
+			durable := st.receiptDurable
 			st.mu.Unlock()
+			if err := n.ensureReceiptDurable(st, serial, code, r, durable); err != nil {
+				return nil, err
+			}
 			return r, nil
 		}
 		st.mu.Unlock()
@@ -523,6 +538,15 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 		if !bytes.Equal(st.usedCode, code) {
 			st.mu.Unlock()
 			return nil, ErrAlreadyVoted
+		}
+		if n.strictJournal() && !st.bindingDurable {
+			// The binding append failed on an earlier flow, so no VOTE_P
+			// necessarily ever left this node — waiting would hang on a
+			// disclosure nobody made. Fall through and re-drive the flow:
+			// collection is idempotent, and the re-binding arm below
+			// re-journals and re-discloses.
+			endorseDurable = st.endorsedDurable
+			break
 		}
 		// Another flow is reconstructing this same vote: wait with it.
 		ch := make(chan voteOutcome, 1)
@@ -536,11 +560,21 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 		}
 		newlyEndorsed = st.endorsedCode == nil
 		st.endorsedCode = append([]byte(nil), code...)
+		endorseDurable = st.endorsedDurable
 	}
 	st.mu.Unlock()
-	if newlyEndorsed {
+	if newlyEndorsed || (n.strictJournal() && !endorseDurable) {
 		// Journal the endorsement duty before asking peers to match it.
-		n.journalAppend(encEndorsed(serial, code))
+		if err := n.journalAppend(encEndorsed(serial, code)); err != nil {
+			if n.strictJournal() {
+				n.metrics.StrictRefusals.Add(1)
+				return nil, fmt.Errorf("vc: endorsement not durable: %w", err)
+			}
+		} else {
+			st.mu.Lock()
+			st.endorsedDurable = true
+			st.mu.Unlock()
+		}
 	}
 
 	// Collect Nv-fv endorsements (ours included).
@@ -558,7 +592,8 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 	ch := make(chan voteOutcome, 1)
 	var recs [][]byte
 	st.mu.Lock()
-	if st.status == NotVoted {
+	switch {
+	case st.status == NotVoted:
 		st.status = Pending
 		st.usedCode = append([]byte(nil), code...)
 		st.part, st.row = part, row
@@ -568,11 +603,28 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 		recs = append(recs,
 			encPending(serial, code, part, row, cert),
 			encShare(serial, share.Index, share.Value))
+	case n.strictJournal() && !st.bindingDurable &&
+		st.status == Pending && bytes.Equal(st.usedCode, code):
+		// A racing flow bound the ballot but its binding append failed (or
+		// has not landed): re-attempt the records before this flow's
+		// VOTE_P can leave, or a restart would forget the disclosure. The
+		// (part, row) come from this flow's own locate() — the state's pair
+		// is unset when the binding arrived via an adopted cert.
+		recs = append(recs,
+			encPending(serial, st.usedCode, part, row, st.cert),
+			encShare(serial, share.Index, share.Value))
 	}
 	switch {
 	case st.status == Voted && bytes.Equal(st.usedCode, code):
+		// A racing applyShares completed the ballot while we collected
+		// endorsements. Same durability duty as the top-of-function fast
+		// path: Strict re-attempts the voted record before release.
 		r := st.receipt
+		durable := st.receiptDurable
 		st.mu.Unlock()
+		if err := n.ensureReceiptDurable(st, serial, code, r, durable); err != nil {
+			return nil, err
+		}
 		return r, nil
 	case !bytes.Equal(st.usedCode, code):
 		st.mu.Unlock()
@@ -584,8 +636,26 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 
 	// The certified binding and our disclosed share are journaled before
 	// VOTE_P leaves: once a peer can act on our share, a restart must
-	// remember we bound the ballot and disclosed.
-	n.journalAppend(recs...)
+	// remember we bound the ballot and disclosed. A Strict node withholds
+	// the disclosure (and fails the submission) when the records did not
+	// land; the next attempt re-journals them.
+	bindErr := n.journalAppend(recs...)
+	if bindErr != nil && n.strictJournal() {
+		n.metrics.StrictRefusals.Add(1)
+		// No VOTE_P without the records behind it. Resetting sentVoteP lets
+		// a peer's VOTE_P re-trigger disclosure after the journal heals (the
+		// mirror of the applyShares failure path); a client resubmission
+		// re-drives the flow through the Pending fall-through above.
+		st.mu.Lock()
+		st.sentVoteP = false
+		st.mu.Unlock()
+		return nil, fmt.Errorf("vc: vote binding not durable: %w", bindErr)
+	}
+	if len(recs) > 0 && bindErr == nil {
+		st.mu.Lock()
+		st.bindingDurable = true
+		st.mu.Unlock()
+	}
 	n.multicastVoteP(serial, code, share, shareSig, cert)
 	receipt, err := n.awaitOutcome(ctx, ch)
 	if err == nil {
@@ -593,6 +663,24 @@ func (n *Node) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]by
 		n.metrics.VotesAccepted.Add(1)
 	}
 	return receipt, err
+}
+
+// ensureReceiptDurable is the Strict fast-path duty before re-serving a
+// receipt from memory: if the voted record was lost to an earlier failed
+// append, re-attempt it — no release without a record a restart can replay.
+// No-op under Available or when already durable.
+func (n *Node) ensureReceiptDurable(st *ballotState, serial uint64, code, receipt []byte, durable bool) error {
+	if !n.strictJournal() || durable {
+		return nil
+	}
+	if err := n.journalAppend(encVoted(serial, code, receipt)); err != nil {
+		n.metrics.StrictRefusals.Add(1)
+		return fmt.Errorf("vc: receipt not durable: %w", err)
+	}
+	st.mu.Lock()
+	st.receiptDurable = true
+	st.mu.Unlock()
+	return nil
 }
 
 func (n *Node) awaitOutcome(ctx context.Context, ch chan voteOutcome) ([]byte, error) {
@@ -693,7 +781,7 @@ func (n *Node) onEndorse(from uint16, m *wire.Endorse) {
 		return
 	}
 	st := n.state(m.Serial)
-	var newlyEndorsed bool
+	var newlyEndorsed, endorseDurable bool
 	st.mu.Lock()
 	switch {
 	case n.byz == Equivocator:
@@ -705,12 +793,23 @@ func (n *Node) onEndorse(from uint16, m *wire.Endorse) {
 		st.mu.Unlock()
 		return
 	}
+	endorseDurable = st.endorsedDurable
 	st.mu.Unlock()
-	if newlyEndorsed {
+	if newlyEndorsed || (n.strictJournal() && !endorseDurable && n.byz != Equivocator) {
 		// The signature is a uniqueness promise: journal it before the
 		// reply carries it away, or a restarted node could endorse a
-		// different code for the same ballot.
-		n.journalAppend(encEndorsed(m.Serial, m.Code))
+		// different code for the same ballot. A Strict node stays silent
+		// when the record did not land — no signature without durability.
+		if err := n.journalAppend(encEndorsed(m.Serial, m.Code)); err != nil {
+			if n.strictJournal() {
+				n.metrics.StrictRefusals.Add(1)
+				return
+			}
+		} else {
+			st.mu.Lock()
+			st.endorsedDurable = true
+			st.mu.Unlock()
+		}
 	}
 	reply := &wire.Endorsement{Serial: m.Serial, Code: m.Code, Signer: n.self, Sig: n.endorseSig(m.Serial, m.Code)}
 	if err := n.ep.Send(transport.NodeID(from), wire.Encode(reply)); err != nil {
@@ -895,7 +994,7 @@ func (n *Node) onVotePBatch(batch []job) {
 // nothing leaves this node that a restart would forget.
 func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 	st := n.state(serial)
-	var disclose bool
+	var disclose, bound bool
 	var ownSh shamir.Share
 	var ownSig []byte
 	var discloseCode []byte
@@ -919,6 +1018,7 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 			st.part, st.row = c.part, c.row
 			st.cert = c.cert
 			st.shares = map[uint32]*big.Int{c.share.Index: c.share.Value}
+			bound = true
 			recs = append(recs,
 				encPending(serial, c.m.Code, c.part, c.row, c.cert),
 				encShare(serial, c.share.Index, c.share.Value))
@@ -949,13 +1049,54 @@ func (n *Node) applyShares(serial uint64, cands []votePCandidate, idxs []int) {
 			}
 		}
 	}
+	// Strict: a ballot whose binding records were lost to an earlier failed
+	// append (bound here via a peer's VOTE_P, or adopted during consensus)
+	// re-journals its certificate before anything else leaves for it — a
+	// restart must never find disclosed shares without the binding behind
+	// them. encUCert rather than encPending: an adopted cert has no known
+	// (part, row), and replay recovers both from the next VOTE_P anyway.
+	if n.strictJournal() && !bound && !st.bindingDurable && st.cert != nil {
+		recs = append([][]byte{encUCert(serial, st.cert)}, recs...)
+		bound = true
+	}
 	rec, notify, receipt := n.maybeReconstructLocked(serial, st)
 	if rec != nil {
 		recs = append(recs, rec)
 	}
 	st.mu.Unlock()
 
-	n.journalAppend(recs...)
+	err := n.journalAppend(recs...)
+	if err != nil && n.strictJournal() {
+		n.metrics.StrictRefusals.Add(1)
+		// Strict: nothing leaves this node on a lost record — waiters get
+		// the failure instead of a receipt, and our share stays undisclosed.
+		// The receipt itself survives in memory; a later resubmission
+		// re-attempts the append (the Voted fast path) once the journal
+		// heals, and resetting sentVoteP lets the next incoming VOTE_P
+		// re-trigger the disclosure (which re-journals the share first), so
+		// a transient journal outage never suppresses this node's share
+		// permanently.
+		if disclose {
+			st.mu.Lock()
+			st.sentVoteP = false
+			st.mu.Unlock()
+		}
+		err = fmt.Errorf("vc: receipt not durable: %w", err)
+		for _, ch := range notify {
+			ch <- voteOutcome{err: err}
+		}
+		return
+	}
+	if err == nil && (rec != nil || bound) {
+		st.mu.Lock()
+		if rec != nil {
+			st.receiptDurable = true
+		}
+		if bound {
+			st.bindingDurable = true
+		}
+		st.mu.Unlock()
+	}
 	for _, ch := range notify {
 		ch <- voteOutcome{receipt: receipt}
 	}

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"context"
 	"crypto/ed25519"
-	"fmt"
-	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -44,6 +42,22 @@ func newSimCluster(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots,
 	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint,
 	journaled bool) *cluster {
 	t.Helper()
+	var jopts JournalOptions
+	if !journaled {
+		return newSimClusterJ(t, seed, byz, numBallots, numVC, lp, stack, nil, jopts)
+	}
+	return newSimClusterJ(t, seed, byz, numBallots, numVC, lp, stack, journalDirs(t, numVC), jopts)
+}
+
+// newSimClusterJ is the fully explicit constructor: per-node journal
+// directories (nil = memory-only cluster, "" = memory-only node) and the
+// journal engine options every (re)start uses — the lever the backend
+// sweeps and the pooled-engine scenarios turn.
+func newSimClusterJ(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots, numVC int,
+	lp transport.LinkProfile,
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint,
+	dirs []string, jopts JournalOptions) *cluster {
+	t.Helper()
 	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
 	data, err := ea.Setup(ea.Params{
 		ElectionID:  "vc-batch-test",
@@ -63,6 +77,9 @@ func newSimCluster(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots,
 	drv := sim.New(sim.Config{Start: start.Add(time.Minute)})
 	net := transport.NewMemnetWithTimers(lp, drv)
 	net.Reseed(seed, 0xFA17)
+	if dirs == nil {
+		dirs = make([]string, numVC)
+	}
 	c := &cluster{
 		t:     t,
 		data:  data,
@@ -70,7 +87,8 @@ func newSimCluster(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots,
 		drv:   drv,
 		byz:   byz,
 		stack: stack,
-		dirs:  make([]string, numVC),
+		dirs:  dirs,
+		jopts: jopts,
 	}
 	for i := 0; i < numVC; i++ {
 		ep := stack(i, data, c.net.Endpoint(transport.NodeID(i)), drv)
@@ -83,9 +101,8 @@ func newSimCluster(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots,
 		if err != nil {
 			t.Fatal(err)
 		}
-		if journaled {
-			c.dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("vc-%d", i))
-			if err := node.Recover(c.dirs[i]); err != nil {
+		if c.dirs[i] != "" {
+			if err := node.RecoverWithOptions(c.dirs[i], jopts); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -31,6 +31,8 @@ type cluster struct {
 	nodes []*Node
 
 	dirs  []string
+	jopts JournalOptions    // journal engine config for journaled nodes
+	flip  map[int]Byzantine // behaviour applied from the next restart on
 	byz   map[int]Byzantine
 	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint
 }
@@ -56,22 +58,28 @@ func (c *cluster) StopNode(i int) {
 }
 
 // RestartNode implements sim.Restarter: relaunch node i from its journal
-// under the same network identity.
+// under the same network identity. A node marked in c.flip comes back with
+// the flipped Byzantine behaviour — it crashed honest and restarts
+// corrupted (the corruption-on-recovery fault class).
 func (c *cluster) RestartNode(i int) {
 	c.node(i).Stop()                                                     // idempotent: a restart without a prior stop is legal
 	ep := c.stack(i, c.data, c.net.Endpoint(transport.NodeID(i)), c.drv) //nolint:gosec // small
+	mode := c.byz[i]
+	if b, ok := c.flip[i]; ok {
+		mode = b
+	}
 	node, err := New(Config{
 		Init:      c.data.VC[i],
 		Endpoint:  ep,
 		Clock:     c.drv,
-		Byzantine: c.byz[i],
+		Byzantine: mode,
 	})
 	if err != nil {
 		c.t.Errorf("restart vc %d: %v", i, err)
 		return
 	}
 	if c.dirs[i] != "" {
-		if err := node.Recover(c.dirs[i]); err != nil {
+		if err := node.RecoverWithOptions(c.dirs[i], c.jopts); err != nil {
 			c.t.Errorf("restart vc %d: recover: %v", i, err)
 			return
 		}

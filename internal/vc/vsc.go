@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"time"
@@ -45,11 +46,27 @@ const recoverRetryInterval = 250 * time.Millisecond
 func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 	// A recovered node that already completed consensus returns its
 	// journaled set: the agreement is final, and a crash after the result
-	// was acted on (signed, pushed to BB) must not re-derive it.
+	// was acted on (signed, pushed to BB) must not re-derive it. A Strict
+	// node whose record never landed re-attempts the append first — the
+	// same fast-path duty the receipt paths carry.
 	n.vscMu.Lock()
 	if n.vscDone {
 		set := append([]VotedBallot(nil), n.vscResult...)
+		durable := n.vscDurable
 		n.vscMu.Unlock()
+		if n.strictJournal() && !durable {
+			err := n.journalAppend(encVSC(set))
+			if err == nil {
+				err = n.journal.Sync()
+			}
+			if err != nil {
+				n.metrics.StrictRefusals.Add(1)
+				return nil, fmt.Errorf("vc: vote set not durable: %w", err)
+			}
+			n.vscMu.Lock()
+			n.vscDurable = true
+			n.vscMu.Unlock()
+		}
 		return set, nil
 	}
 	n.vscMu.Unlock()
@@ -58,6 +75,10 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 		n:             n,
 		announceFrom:  make(map[uint16]bool, n.nv),
 		announceReady: make(chan struct{}),
+		echoed:        make(map[uint16]bool, n.nv),
+		finalSets:     make(map[[32]byte]*finalTally, 2),
+		finalFrom:     make(map[uint16][32]byte, n.nv),
+		finalCh:       make(chan []VotedBallot, 1),
 		missing:       make(map[uint64]bool),
 		missingDone:   make(chan struct{}, 1),
 	}
@@ -82,6 +103,21 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 	n.vscBuffer = nil
 	n.vscMu.Unlock()
 
+	// A failed run uninstalls its engine so the caller can retry — the
+	// recovery path of a node restarted mid-consensus, whose first attempts
+	// can starve until enough peers finish and answer with VSC-FINAL.
+	succeeded := false
+	defer func() {
+		if succeeded {
+			return
+		}
+		n.vscMu.Lock()
+		if n.vsc == e {
+			n.vsc = nil
+		}
+		n.vscMu.Unlock()
+	}()
+
 	// Step 1-2: announce every certified code (batched over all ballots).
 	own := n.certifiedEntries()
 	if n.byz == ConsensusLiar {
@@ -97,9 +133,13 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 	}
 
 	// Wait for Nv-fv ANNOUNCE batches (per-ballot waiting in the paper; one
-	// batch per node covers all ballots).
+	// batch per node covers all ballots). A VSC-FINAL quorum short-circuits
+	// every remaining stage: fv+1 matching signed sets contain an honest
+	// one, so the agreement is already decided.
 	select {
 	case <-e.announceReady:
+	case set := <-e.finalCh:
+		return n.finishConsensus(set, &succeeded)
 	case <-ctx.Done():
 		return nil, fmt.Errorf("vc: waiting for announces: %w", ctx.Err())
 	case <-n.done:
@@ -121,9 +161,28 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 		return nil, err
 	}
 	e.markStarted()
-	decisions, err := e.batch.Results(ctx)
-	if err != nil {
-		return nil, err
+	// The batch wait runs under a cancellable child context so the waiter
+	// goroutine always exits when VSC-FINAL adoption or shutdown wins the
+	// select below — without it, a caller context with no deadline would
+	// leak the goroutine (and pin the batch) forever.
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	resCh := make(chan batchResult, 1)
+	go func() {
+		decisions, err := e.batch.Results(rctx)
+		resCh <- batchResult{decisions, err}
+	}()
+	var decisions []byte
+	select {
+	case r := <-resCh:
+		if r.err != nil {
+			return nil, r.err
+		}
+		decisions = r.decisions
+	case set := <-e.finalCh:
+		return n.finishConsensus(set, &succeeded)
+	case <-n.done:
+		return nil, ErrStopped
 	}
 
 	// Steps 4-5: translate decisions; recover codes we lack.
@@ -147,19 +206,47 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 	if decidedOnes != len(set) {
 		return nil, fmt.Errorf("vc: %d ballots decided voted but only %d codes known", decidedOnes, len(set))
 	}
-	// The agreed set is the input to the signed BB push: journal and sync
-	// it (once per election — the fsync is off the hot path) before anyone
-	// can act on it.
-	n.journalAppend(encVSC(set))
-	if n.journal != nil {
-		if err := n.journal.Sync(); err != nil {
-			n.metrics.JournalErrors.Add(1)
-		}
-	}
+	return n.finishConsensus(set, &succeeded)
+}
+
+// batchResult carries a consensus batch outcome across the select.
+type batchResult struct {
+	decisions []byte
+	err       error
+}
+
+// finishConsensus installs and journals the agreed vote set — shared by the
+// full protocol path and VSC-FINAL adoption. The result is installed in
+// memory *before* the append (the mutation-before-append rule every record
+// follows): a snapshot racing the append must serialize a state that
+// already contains the result, or it would capture without it and then
+// truncate the log holding the record. The set is the input to the signed
+// BB push, so it is journaled and synced (once per election — the fsync is
+// off the hot path) before the caller can act on it; a Strict node refuses
+// to return a result that did not land and uninstalls it for the retry.
+func (n *Node) finishConsensus(set []VotedBallot, succeeded *bool) ([]VotedBallot, error) {
 	n.vscMu.Lock()
 	n.vscDone = true
 	n.vscResult = append([]VotedBallot(nil), set...)
 	n.vscMu.Unlock()
+	err := n.journalAppend(encVSC(set))
+	if err == nil && n.journal != nil {
+		if err = n.journal.Sync(); err != nil {
+			n.metrics.JournalErrors.Add(1)
+		}
+	}
+	if err != nil && n.strictJournal() {
+		n.metrics.StrictRefusals.Add(1)
+		n.vscMu.Lock()
+		n.vscDone = false
+		n.vscResult = nil
+		n.vscMu.Unlock()
+		return nil, fmt.Errorf("vc: vote set not durable: %w", err)
+	}
+	n.vscMu.Lock()
+	n.vscDurable = err == nil
+	n.vscMu.Unlock()
+	*succeeded = true
 	return set, nil
 }
 
@@ -240,16 +327,39 @@ type vscEngine struct {
 	started       bool
 	preStart      []*wire.Consensus
 	preStartFrom  []uint16
+	echoed        map[uint16]bool // peers already sent an ANNOUNCE echo
+
+	finalMu   sync.Mutex
+	finalSets map[[32]byte]*finalTally
+	finalFrom map[uint16][32]byte // each sender's current vote (one per peer)
+	finalSent bool
+	finalCh   chan []VotedBallot
 
 	missingMu   sync.Mutex
 	missing     map[uint64]bool
 	missingDone chan struct{}
 }
 
+// finalTally accumulates matching signed VSC-FINAL sets by canonical hash.
+type finalTally struct {
+	set     []VotedBallot
+	senders uint64 // bitmask of distinct verified senders
+}
+
 func (n *Node) routeConsensus(from uint16, msg wire.Message) {
 	n.vscMu.Lock()
 	e := n.vsc
+	done := n.vscDone
 	if e == nil {
+		if done {
+			// A recovered node whose consensus already completed runs no
+			// engine, but peers redoing consensus (their own restart) still
+			// need answers: the final set for an ANNOUNCE, certified codes
+			// for a RECOVER-REQUEST.
+			n.vscMu.Unlock()
+			n.answerConsensusIdle(from, msg)
+			return
+		}
 		if len(n.vscBuffer) < maxVscBuffer {
 			n.vscBuffer = append(n.vscBuffer, bufferedMsg{from: from, msg: msg})
 		}
@@ -258,6 +368,42 @@ func (n *Node) routeConsensus(from uint16, msg wire.Message) {
 	}
 	n.vscMu.Unlock()
 	e.handle(from, msg)
+}
+
+// answerConsensusIdle serves consensus-phase recovery traffic on a node
+// that holds a journaled final result but runs no engine.
+func (n *Node) answerConsensusIdle(from uint16, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Announce:
+		for i := range m.Entries {
+			if !n.adoptEntry(&m.Entries[i]) {
+				n.metrics.BadMessages.Add(1)
+			}
+		}
+		n.sendFinalTo(from)
+	case *wire.RecoverRequest:
+		n.answerRecoverRequest(from, m)
+	}
+}
+
+// sendFinalTo unicasts this node's signed final vote set (no-op until
+// consensus completed).
+func (n *Node) sendFinalTo(to uint16) {
+	n.vscMu.Lock()
+	if !n.vscDone {
+		n.vscMu.Unlock()
+		return
+	}
+	set := append([]VotedBallot(nil), n.vscResult...)
+	n.vscMu.Unlock()
+	entries := make([]wire.VSCEntry, 0, len(set))
+	for _, vb := range set {
+		entries = append(entries, wire.VSCEntry{Serial: vb.Serial, Code: vb.Code})
+	}
+	msg := &wire.VSCFinal{Sender: n.self, Entries: entries, Sig: n.SignVoteSet(set)}
+	if err := n.ep.Send(transport.NodeID(to), wire.Encode(msg)); err != nil {
+		n.metrics.SendErrors.Add(1)
+	}
 }
 
 func (e *vscEngine) handle(from uint16, msg wire.Message) {
@@ -270,6 +416,8 @@ func (e *vscEngine) handle(from uint16, msg wire.Message) {
 		e.onRecoverRequest(from, m)
 	case *wire.RecoverResponse:
 		e.onRecoverResponse(m)
+	case *wire.VSCFinal:
+		e.onVSCFinal(from, m)
 	}
 }
 
@@ -280,14 +428,84 @@ func (e *vscEngine) onAnnounce(from uint16, m *wire.Announce) {
 		}
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.announceFrom[from] {
+	dup := e.announceFrom[from]
+	echo := dup && from != e.n.self && !e.echoed[from]
+	if echo {
+		e.echoed[from] = true
+	}
+	if !dup {
+		e.announceFrom[from] = true
+		if len(e.announceFrom) >= e.n.hv && !e.readyClosed {
+			e.readyClosed = true
+			close(e.announceReady)
+		}
+	}
+	e.mu.Unlock()
+	if !dup {
 		return
 	}
-	e.announceFrom[from] = true
-	if len(e.announceFrom) >= e.n.hv && !e.readyClosed {
-		e.readyClosed = true
-		close(e.announceReady)
+	// A duplicate ANNOUNCE means the peer restarted mid-consensus and is
+	// waiting for announces nobody will resend. Echo ours back (once per
+	// peer, so network-duplicated frames cannot ping-pong), and hand it the
+	// final set if we already hold one.
+	if echo {
+		frame := wire.Encode(&wire.Announce{Sender: e.n.self, Entries: e.n.certifiedEntries()})
+		if err := e.n.ep.Send(transport.NodeID(from), frame); err != nil {
+			e.n.metrics.SendErrors.Add(1)
+		}
+	}
+	e.n.sendFinalTo(from)
+}
+
+// onVSCFinal verifies a peer's signed final vote set; fv+1 matching sets
+// from distinct senders contain an honest one, so the set is the agreed
+// result and the engine adopts it (the restarted-mid-consensus fast path).
+func (e *vscEngine) onVSCFinal(from uint16, m *wire.VSCFinal) {
+	n := e.n
+	if m.Sender != from || int(from) >= n.nv {
+		n.metrics.BadMessages.Add(1)
+		return
+	}
+	set := make([]VotedBallot, 0, len(m.Entries))
+	for i := range m.Entries {
+		set = append(set, VotedBallot{Serial: m.Entries[i].Serial, Code: m.Entries[i].Code})
+	}
+	if !VerifyVoteSetSig(&n.manifest, int(from), set, m.Sig) {
+		n.metrics.BadMessages.Add(1)
+		return
+	}
+	hash := CanonicalVoteSetHash(n.manifest.ElectionID, set)
+	e.finalMu.Lock()
+	defer e.finalMu.Unlock()
+	// The uint64 sender bitmask relies on the system-wide Nv <= 64 cap
+	// (ea.Setup validates it; consensus.NewBatch refuses larger clusters
+	// for the same reason).
+	bit := uint64(1) << from
+	// One vote per sender, latest set wins: a Byzantine peer streaming
+	// distinct fabricated sets (its own key signs them all) replaces its
+	// previous vote instead of growing the tally without bound — state
+	// stays O(Nv) sets.
+	if prev, voted := e.finalFrom[from]; voted {
+		if prev == hash {
+			return
+		}
+		if pt := e.finalSets[prev]; pt != nil {
+			pt.senders &^= bit
+			if pt.senders == 0 {
+				delete(e.finalSets, prev)
+			}
+		}
+	}
+	e.finalFrom[from] = hash
+	t := e.finalSets[hash]
+	if t == nil {
+		t = &finalTally{set: set}
+		e.finalSets[hash] = t
+	}
+	t.senders |= bit
+	if bits.OnesCount64(t.senders) >= n.fv+1 && !e.finalSent {
+		e.finalSent = true
+		e.finalCh <- append([]VotedBallot(nil), t.set...)
 	}
 }
 
@@ -319,15 +537,21 @@ func (e *vscEngine) markStarted() {
 }
 
 func (e *vscEngine) onRecoverRequest(from uint16, m *wire.RecoverRequest) {
+	e.n.answerRecoverRequest(from, m)
+}
+
+// answerRecoverRequest serves certified codes to a recovering peer — shared
+// by the engine and the post-consensus idle path.
+func (n *Node) answerRecoverRequest(from uint16, m *wire.RecoverRequest) {
 	if len(m.Serials) == 0 {
 		return
 	}
 	resp := &wire.RecoverResponse{}
 	for _, serial := range m.Serials {
-		if serial == 0 || serial > uint64(e.n.manifest.NumBallots) {
+		if serial == 0 || serial > uint64(n.manifest.NumBallots) {
 			continue
 		}
-		st := e.n.state(serial)
+		st := n.state(serial)
 		st.mu.Lock()
 		if st.cert != nil {
 			resp.Entries = append(resp.Entries, wire.AnnounceEntry{
@@ -339,8 +563,8 @@ func (e *vscEngine) onRecoverRequest(from uint16, m *wire.RecoverRequest) {
 	if len(resp.Entries) == 0 {
 		return
 	}
-	if err := e.n.ep.Send(transport.NodeID(from), wire.Encode(resp)); err != nil {
-		e.n.metrics.SendErrors.Add(1)
+	if err := n.ep.Send(transport.NodeID(from), wire.Encode(resp)); err != nil {
+		n.metrics.SendErrors.Add(1)
 	}
 }
 

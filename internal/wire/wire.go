@@ -31,6 +31,7 @@ const (
 	KindRecoverResponse
 	KindConsensus
 	KindBatch
+	KindVSCFinal
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +53,8 @@ func (k Kind) String() string {
 		return "CONSENSUS"
 	case KindBatch:
 		return "BATCH"
+	case KindVSCFinal:
+		return "VSC-FINAL"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -101,6 +104,8 @@ func Decode(frame []byte) (Message, error) {
 		m = decodeConsensus(r)
 	case KindBatch:
 		m = decodeBatch(r)
+	case KindVSCFinal:
+		m = decodeVSCFinal(r)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, frame[0])
 	}
@@ -464,6 +469,51 @@ func decodeRecoverResponse(r *reader) *RecoverResponse {
 			Cert:   decodeUCert(r),
 		})
 	}
+	return m
+}
+
+// VSCEntry is one ⟨serial, code⟩ tuple of a final agreed vote set.
+type VSCEntry struct {
+	Serial uint64
+	Code   []byte
+}
+
+// VSCFinal carries a node's completed vote-set-consensus result, signed with
+// its vote-set signature. It is the consensus-phase recovery channel: a node
+// that restarted mid-consensus re-announces, and peers that already finished
+// reply with their final set; fv+1 matching signed sets contain one from an
+// honest node, so the agreed set can be adopted without re-running the
+// binary-consensus instances the restarted node slept through.
+type VSCFinal struct {
+	Sender  uint16
+	Entries []VSCEntry
+	Sig     []byte
+}
+
+// Kind implements Message.
+func (*VSCFinal) Kind() Kind { return KindVSCFinal }
+
+func (m *VSCFinal) appendBody(dst []byte) []byte {
+	dst = appendU16(dst, m.Sender)
+	dst = appendU32(dst, uint32(len(m.Entries))) //nolint:gosec // protocol-bounded
+	for i := range m.Entries {
+		dst = appendU64(dst, m.Entries[i].Serial)
+		dst = appendBytes(dst, m.Entries[i].Code)
+	}
+	return appendBytes(dst, m.Sig)
+}
+
+func decodeVSCFinal(r *reader) *VSCFinal {
+	m := &VSCFinal{Sender: r.u16("sender")}
+	n := r.count("entries")
+	if r.err != nil {
+		return m
+	}
+	m.Entries = make([]VSCEntry, 0, n)
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, VSCEntry{Serial: r.u64("entry serial"), Code: r.bytes("entry code")})
+	}
+	m.Sig = r.bytes("sig")
 	return m
 }
 

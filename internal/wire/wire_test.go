@@ -101,6 +101,27 @@ func TestRecoverResponseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestVSCFinalRoundTrip(t *testing.T) {
+	m := &VSCFinal{
+		Sender: 2,
+		Entries: []VSCEntry{
+			{Serial: 1, Code: []byte{1, 2, 3}},
+			{Serial: 9, Code: bytes.Repeat([]byte{0xee}, 20)},
+		},
+		Sig: bytes.Repeat([]byte{5}, 64),
+	}
+	got := roundTrip(t, m).(*VSCFinal)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+	// Empty set (a node that certified nothing still answers).
+	empty := &VSCFinal{Sender: 0, Sig: bytes.Repeat([]byte{6}, 64)}
+	got = roundTrip(t, empty).(*VSCFinal)
+	if got.Sender != 0 || len(got.Entries) != 0 || !bytes.Equal(got.Sig, empty.Sig) {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
 func TestConsensusRoundTrip(t *testing.T) {
 	m := &Consensus{
 		Sender: 2,
@@ -201,7 +222,7 @@ func TestPropertyEndorseRoundTrip(t *testing.T) {
 
 func TestKindString(t *testing.T) {
 	kinds := []Kind{KindEndorse, KindEndorsement, KindVoteP, KindAnnounce,
-		KindRecoverRequest, KindRecoverResponse, KindConsensus, Kind(99)}
+		KindRecoverRequest, KindRecoverResponse, KindConsensus, KindVSCFinal, Kind(99)}
 	for _, k := range kinds {
 		if k.String() == "" {
 			t.Fatalf("kind %d has empty string", k)
