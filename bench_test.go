@@ -3,7 +3,7 @@
 // representative slice of the paper's parameter sweep and prints the same
 // series rows the paper plots; cmd/ddemos-bench runs the full sweeps.
 // Parameter scales (ballot pools, cast counts) are documented in DESIGN.md
-// ("Substitutions") and EXPERIMENTS.md.
+// ("Substitutions"); measured trends live in docs/BENCH.md.
 package ddemos
 
 import (
@@ -219,6 +219,36 @@ func BenchmarkPoolAblation(b *testing.B) {
 				b.ReportMetric(pt.Speedup, fmt.Sprintf("pool-speedup@%d", pt.Pool))
 			}
 		}
+	}
+}
+
+// BenchmarkStoreAblation — the ballot-store read path (the paper's Fig.
+// 4/5a database-vs-cache ablation): the same protocol-shaped read workload
+// (every serial touched ~3 times within a short window, streaming once
+// through a pool that outgrows the cache budget) against the in-memory
+// store, the v1 flat file, the segmented store, and the segmented store
+// behind the admission-controlled LRU. The CI baseline gates cache-speedup
+// (segmented+cache vs uncached flat-disk) — a ratio, so runner speed and
+// page-cache state cannot flap the gate.
+func BenchmarkStoreAblation(b *testing.B) {
+	cfg := benchmark.StoreAblationConfig{Ballots: 60_000, CacheBytes: 4 << 20}
+	for i := 0; i < b.N; i++ {
+		points, err := benchmark.RunStoreAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]benchmark.StorePoint{}
+		for _, pt := range points {
+			byName[pt.Config] = pt
+			b.Logf("config=%s gets/sec=%.0f vs-flat=%.2f", pt.Config, pt.GetsPerSec, pt.Speedup)
+		}
+		b.ReportMetric(byName["mem"].GetsPerSec, "mem-gets/sec")
+		b.ReportMetric(byName["flat-disk"].GetsPerSec, "flat-gets/sec")
+		b.ReportMetric(byName["segmented"].GetsPerSec, "seg-gets/sec")
+		b.ReportMetric(byName["segmented+cache"].GetsPerSec, "segcache-gets/sec")
+		b.ReportMetric(byName["segmented"].Speedup, "seg-speedup")
+		b.ReportMetric(byName["segmented+cache"].Speedup, "cache-speedup")
+		b.ReportMetric(byName["segmented+cache"].HitRate, "cache-hit-rate")
 	}
 }
 

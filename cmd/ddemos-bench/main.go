@@ -1,6 +1,6 @@
 // ddemos-bench regenerates the tables and figures of the paper's evaluation
 // (§V), printing the same series the paper plots. Each figure is a sweep;
-// see EXPERIMENTS.md for the scaled parameter mapping.
+// see DESIGN.md ("Substitutions") for the scaled parameter mapping.
 //
 //	ddemos-bench -fig 4b            # one figure
 //	ddemos-bench -fig all           # everything (takes a while)
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,store,store-election,all")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	authenticated := flag.Bool("authenticated", false, "sign inter-VC channels (Fig4 sweeps)")
 	batchWindow := flag.Duration("batch-window", 0,
@@ -91,6 +91,35 @@ func main() {
 			benchmark.PrintPoolAblation(os.Stdout, points)
 			return nil
 		},
+		"store": func() error {
+			// The pool deliberately outgrows the cache: the default 240k
+			// ballots (~125MiB of records) against a 16MiB budget is the
+			// regime where the paper's database-vs-cache ablation runs.
+			cfg := benchmark.StoreAblationConfig{Ballots: 240_000, CacheBytes: 16 << 20}
+			if *quick {
+				cfg = benchmark.StoreAblationConfig{Ballots: 40_000, CacheBytes: 2 << 20}
+			}
+			points, err := benchmark.RunStoreAblation(cfg)
+			if err != nil {
+				return err
+			}
+			benchmark.PrintStoreAblation(os.Stdout, points, cfg)
+			return nil
+		},
+		"store-election": func() error {
+			ballotsS, votesS, clientsS := 20_000, 2000, 200
+			cacheBytes := int64(1 << 20)
+			if *quick {
+				ballotsS, votesS, clientsS = 4000, 600, 100
+				cacheBytes = 256 << 10
+			}
+			points, err := benchmark.RunStoreElectionAblation(ballotsS, votesS, clientsS, 4, cacheBytes)
+			if err != nil {
+				return err
+			}
+			benchmark.PrintStoreElectionAblation(os.Stdout, points, ballotsS, cacheBytes)
+			return nil
+		},
 		"pool-election": func() error {
 			votesP, clientsP := 1200, 200
 			if *quick {
@@ -107,7 +136,7 @@ func main() {
 
 	// 4a/4b and 4d/4e share one sweep (latency and throughput of the same
 	// runs); dedupe when running everything.
-	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool"}
+	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool", "store"}
 	if *fig == "all" {
 		for _, name := range order {
 			fmt.Printf("\n===== figure %s =====\n", name)

@@ -14,14 +14,58 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"ddemos/internal/ea"
 	"ddemos/internal/httpapi"
+	"ddemos/internal/store"
 	"ddemos/internal/transport"
 	"ddemos/internal/vc"
 )
+
+// openOrBuildSegments serves the -store-segments flag: open an existing
+// segment directory, or materialize one from the init payload's ballot pool
+// (a one-time streaming build) when the manifest is missing. With cacheBytes
+// > 0 the opened store is wrapped in the admission-controlled LRU.
+func openOrBuildSegments(dir string, init *ea.VCInit, cacheBytes int64) (store.Store, error) {
+	var seg *store.Segmented
+	if _, err := os.Stat(filepath.Join(dir, store.ManifestName)); err == nil {
+		seg, err = store.OpenSegmented(dir)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("ballot store: %d ballots from %d segments in %s", seg.Count(), seg.Segments(), dir)
+	} else {
+		w, err := store.NewWriter(dir, store.WriterOptions{})
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range init.Ballots {
+			if err := w.Append(b); err != nil {
+				w.Abort()
+				return nil, err
+			}
+		}
+		seg, err = w.Finish()
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("ballot store: built %d segments (%d ballots) in %s", seg.Segments(), seg.Count(), dir)
+	}
+	if cacheBytes <= 0 {
+		return seg, nil
+	}
+	cached, err := store.NewCached(seg, store.CachedOptions{MaxBytes: cacheBytes})
+	if err != nil {
+		_ = seg.Close()
+		return nil, err
+	}
+	log.Printf("ballot store: %d byte LRU cache (admission-controlled, single-flight)", cacheBytes)
+	return cached, nil
+}
 
 func main() {
 	initPath := flag.String("init", "", "path to vc-<i>.gob")
@@ -41,6 +85,15 @@ func main() {
 	journalPool := flag.Int("journal-pool", 1,
 		"number of journal WAL lanes (>1 shards runtime state by ballot serial with per-lane "+
 			"group-commit fsync and copy-on-write snapshots — the Fig. 5a pool knob; requires -data-dir)")
+	storeSegments := flag.String("store-segments", "",
+		"segment directory for the ballot store (serial-range-sharded fixed-record files + manifest). "+
+			"If the directory has no manifest yet it is built once, streamed from the init payload; "+
+			"afterwards the node serves ballots from segments instead of holding the pool in memory — "+
+			"the millions-of-ballots configuration (empty = in-memory store)")
+	storeCache := flag.Int64("store-cache", 0,
+		"ballot-store cache budget in bytes (e.g. 67108864 for 64MiB): wraps the segmented store with "+
+			"an admission-controlled LRU with single-flight loading, so the protocol's per-ballot fan-in "+
+			"costs one positional read (0 = no cache; requires -store-segments)")
 	journalPolicy := flag.String("journal-policy", "available",
 		"journal-append-error ack policy: 'available' counts errors and keeps serving from memory, "+
 			"'strict' refuses ENDORSEMENT replies and receipts whose record did not land "+
@@ -80,7 +133,22 @@ func main() {
 			},
 		})
 	}
-	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep})
+	if *storeCache > 0 && *storeSegments == "" {
+		log.Fatal("-store-cache requires -store-segments")
+	}
+	var ballotStore store.Store
+	if *storeSegments != "" {
+		ballotStore, err = openOrBuildSegments(*storeSegments, &init, *storeCache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = ballotStore.Close() }()
+		// The gob-decoded pool has served its purpose (segment build); drop
+		// it so the process actually runs at cache-budget memory — holding
+		// it would defeat the flag at the millions-of-ballots scale.
+		init.Ballots = nil
+	}
+	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep, Store: ballotStore})
 	if err != nil {
 		log.Fatal(err)
 	}

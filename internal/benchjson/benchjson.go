@@ -1,9 +1,21 @@
-// Package benchjson turns `go test -bench` output into machine-readable
-// JSON and gates it against a checked-in baseline — the benchmark-tracking
-// half of the CI pipeline. Raw throughputs vary with the runner, so the
-// baseline gates primarily on ratio metrics (batching speedup, WAL
-// durability tax), which are machine-independent; the full per-run numbers
-// still land in the BENCH_<date>.json artifact for trend analysis.
+// Package benchjson is the benchmark-tracking half of the CI pipeline,
+// in four pieces:
+//
+//   - Parse/Compare (benchjson.go): `go test -bench` output becomes
+//     machine-readable JSON, gated against the checked-in
+//     BENCH_BASELINE.json. Raw throughputs vary with the runner, so the
+//     baseline gates primarily on ratio metrics (batching speedup, WAL
+//     durability tax, store cache speedup), which are machine-independent.
+//   - History (trend.go): every run is appended to the committed
+//     BENCH_HISTORY.jsonl chain, one Report per line, oldest first.
+//   - Trend (trend.go): flags 3-run monotone declines in the chain's
+//     absolute numbers — slow erosion that stays inside each run's ratio
+//     tolerance still surfaces.
+//   - Dashboard (dashboard.go): renders the chain into docs/BENCH.md —
+//     per-metric trend tables with sparkline history plus the gated-metric
+//     summary.
+//
+// cmd/ddemos-benchjson exposes all four as CLI modes.
 package benchjson
 
 import (

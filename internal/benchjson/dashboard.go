@@ -1,0 +1,194 @@
+package benchjson
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders the BENCH_HISTORY.jsonl chain into docs/BENCH.md — the
+// human half of the benchmark-tracking pipeline. The baseline gate and the
+// trend check decide pass/fail; the dashboard shows the trajectory: one
+// trend table per benchmark with sparkline history and deltas, plus a
+// summary of every gated metric against its bound. CI regenerates it next
+// to the history chain on main pushes and uploads it as an artifact on PRs.
+
+// DashboardWindow is how many trailing runs the per-metric sparklines and
+// deltas cover.
+const DashboardWindow = 12
+
+// sparkLevels are the eight block heights of a sparkline cell.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals (oldest first) as unicode blocks, normalizing to
+// the series' own min..max. A flat series renders mid-height.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := (len(sparkLevels) - 1) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// deltaCell formats the relative change from first to last with a
+// direction arrow (→ below 0.5% either way).
+func deltaCell(first, last float64) string {
+	if first == 0 {
+		return "n/a"
+	}
+	rel := (last - first) / math.Abs(first)
+	switch {
+	case rel > 0.005:
+		return fmt.Sprintf("↑ +%.1f%%", rel*100)
+	case rel < -0.005:
+		return fmt.Sprintf("↓ %.1f%%", rel*100)
+	default:
+		return "→ ±0%"
+	}
+}
+
+// fmtVal renders a metric value compactly.
+func fmtVal(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteDashboard renders the history chain (oldest first) as markdown. The
+// baseline contributes the gated-metrics summary; pass a zero Baseline to
+// omit it. Output is deterministic for a given chain, so regenerating
+// without new runs produces no diff.
+func WriteDashboard(w io.Writer, history []Report, base Baseline) error {
+	bw := &errWriter{w: w}
+	bw.printf("# Benchmark dashboard\n\n")
+	if len(history) == 0 {
+		bw.printf("No runs in the history chain yet.\n")
+		return bw.err
+	}
+	first, last := history[0], history[len(history)-1]
+	bw.printf("Rendered from `BENCH_HISTORY.jsonl`: **%d run(s)**, %s → %s (last run on %s).\n\n",
+		len(history), first.Date, last.Date, last.Go)
+	bw.printf("Regenerate locally with:\n\n")
+	bw.printf("```sh\ngo run ./cmd/ddemos-benchjson -dashboard -history BENCH_HISTORY.jsonl \\\n    -baseline BENCH_BASELINE.json -out docs/BENCH.md\n```\n\n")
+
+	window := history
+	if len(window) > DashboardWindow {
+		window = window[len(window)-DashboardWindow:]
+	}
+
+	if len(base.Entries) > 0 {
+		bw.printf("## Gated metrics\n\n")
+		bw.printf("The CI baseline gate (`BENCH_BASELINE.json`) fails a run when a gated metric\n")
+		bw.printf("regresses beyond its tolerance; ratio metrics make the gate machine-independent.\n\n")
+		bw.printf("| benchmark | metric | direction | baseline | tolerance | latest | history |\n")
+		bw.printf("|---|---|---|---:|---:|---:|---|\n")
+		for _, e := range base.Entries {
+			vals, _ := metricSeries(window, e.Benchmark, e.Metric, len(window))
+			latest, spark := "n/a", ""
+			if len(vals) > 0 {
+				latest = fmtVal(vals[len(vals)-1])
+				spark = sparkline(vals)
+			}
+			tol := e.Tolerance
+			if tol <= 0 {
+				tol = base.DefaultTolerance
+			}
+			if tol <= 0 {
+				tol = 0.20
+			}
+			bw.printf("| %s | %s | %s | %s | %.0f%% | %s | %s |\n",
+				strings.TrimPrefix(e.Benchmark, "Benchmark"), e.Metric,
+				e.Direction, fmtVal(e.Value), tol*100, latest, spark)
+		}
+		bw.printf("\n")
+	}
+
+	bw.printf("## Metric trends (last %d run(s))\n\n", len(window))
+	for _, bench := range benchNames(window) {
+		bw.printf("### %s\n\n", strings.TrimPrefix(bench, "Benchmark"))
+		bw.printf("| metric | first | latest | Δ window | history |\n")
+		bw.printf("|---|---:|---:|---|---|\n")
+		for _, metric := range metricNames(window, bench) {
+			vals, _ := metricSeries(window, bench, metric, len(window))
+			if len(vals) == 0 {
+				continue
+			}
+			bw.printf("| %s | %s | %s | %s | %s |\n",
+				metric, fmtVal(vals[0]), fmtVal(vals[len(vals)-1]),
+				deltaCell(vals[0], vals[len(vals)-1]), sparkline(vals))
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+// benchNames collects the benchmarks appearing in the window, sorted.
+func benchNames(window []Report) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rep := range window {
+		for _, row := range rep.Rows {
+			if !seen[row.Benchmark] {
+				seen[row.Benchmark] = true
+				out = append(out, row.Benchmark)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metricNames collects a benchmark's metrics across the window, sorted.
+func metricNames(window []Report, bench string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rep := range window {
+		for _, row := range rep.Rows {
+			if row.Benchmark != bench {
+				continue
+			}
+			for m := range row.Metrics {
+				if !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// errWriter folds the first write error through a printf chain.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,86 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func dashboardHistory() []Report {
+	mk := func(date string, tput, ratio float64) Report {
+		return Report{Date: date, Go: "go1.22", Rows: []Row{
+			{Benchmark: "BenchmarkX", Iterations: 1, Metrics: map[string]float64{
+				"votes/sec": tput, "speedup": ratio,
+			}},
+		}}
+	}
+	return []Report{
+		mk("2026-07-01", 100, 1.5),
+		mk("2026-07-02", 120, 1.6),
+		mk("2026-07-03", 110, 1.7),
+	}
+}
+
+func TestWriteDashboard(t *testing.T) {
+	base := Baseline{DefaultTolerance: 0.2, Entries: []BaselineEntry{
+		{Benchmark: "BenchmarkX", Metric: "speedup", Value: 1.5, Direction: "higher"},
+	}}
+	var sb strings.Builder
+	if err := WriteDashboard(&sb, dashboardHistory(), base); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Benchmark dashboard",
+		"**3 run(s)**",
+		"2026-07-01 → 2026-07-03",
+		"## Gated metrics",
+		"| X | speedup | higher | 1.5 | 20% | 1.7 |",
+		"### X",
+		"| votes/sec | 100 | 110 |",
+		"↑ +13.3%", // speedup 1.5 -> 1.7
+		"↑ +10.0%", // votes/sec 100 -> 110
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q\n---\n%s", want, out)
+		}
+	}
+	// Sparklines: three data points render three cells.
+	if !strings.Contains(out, "▁█▄") { // 100,120,110 normalized
+		t.Errorf("expected sparkline ▁█▄ for votes/sec series\n%s", out)
+	}
+}
+
+func TestWriteDashboardDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteDashboard(&a, dashboardHistory(), Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDashboard(&b, dashboardHistory(), Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("dashboard output not deterministic")
+	}
+}
+
+func TestWriteDashboardEmptyHistory(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDashboard(&sb, nil, Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "No runs") {
+		t.Fatalf("unexpected empty-history output: %s", sb.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{1, 1, 1}); got != "▄▄▄" {
+		t.Fatalf("flat series = %q, want mid-height", got)
+	}
+	if got := sparkline([]float64{0, 7}); got != "▁█" {
+		t.Fatalf("min-max series = %q", got)
+	}
+	if got := sparkline(nil); got != "" {
+		t.Fatalf("empty series = %q", got)
+	}
+}

@@ -2,7 +2,8 @@
 // of the paper's evaluation (§V). It is shared by the repository-root
 // testing.B benchmarks (one per figure/table, representative points) and by
 // cmd/ddemos-bench (full parameter sweeps printing the same series the
-// paper plots). See EXPERIMENTS.md for paper-vs-measured results.
+// paper plots). See DESIGN.md ("Substitutions") for the parameter scaling
+// and docs/BENCH.md for the measured trend dashboard.
 package benchmark
 
 import (
@@ -36,6 +37,18 @@ type Config struct {
 	// memory (Fig. 5a).
 	Disk    bool
 	DiskDir string
+	// Segmented stores each VC node's data in a serial-range-sharded
+	// segment directory (store.Segmented) instead of one flat file — the
+	// millions-of-ballots read path. Implies a disk-backed store; DiskDir
+	// hosts the segment directories when set.
+	Segmented bool
+	// SegmentBallots overrides the ballots-per-segment capacity (0 = the
+	// store default).
+	SegmentBallots int
+	// StoreCacheBytes wraps every node's disk-backed store with the
+	// admission-controlled LRU of this byte budget (0 = uncached). The
+	// cache-vs-database ablation sizes this deliberately below the pool.
+	StoreCacheBytes int64
 	// WAL gives every VC node a durable runtime-state journal (the
 	// crash-recovery configuration); WALFsync syncs per transition instead
 	// of on the batched group-commit cadence. The WAL-on/WAL-off delta is
@@ -132,7 +145,7 @@ func Run(cfg Config) (*Result, error) {
 		clusterOpts.Fsync = cfg.WALFsync
 		clusterOpts.JournalPool = cfg.JournalPool
 	}
-	if cfg.Disk {
+	if cfg.Disk || cfg.Segmented {
 		dir := cfg.DiskDir
 		if dir == "" {
 			dir, err = os.MkdirTemp("", "ddemos-bench")
@@ -142,13 +155,26 @@ func Run(cfg Config) (*Result, error) {
 			defer func() { _ = os.RemoveAll(dir) }()
 		}
 		clusterOpts.Stores = make(map[int]store.Store, cfg.VC)
+		clusterOpts.StoreCache = cfg.StoreCacheBytes
 		for i := 0; i < cfg.VC; i++ {
-			path := filepath.Join(dir, fmt.Sprintf("vc-%d.store", i))
-			ds, err := store.CreateDisk(path, data.VC[i].Ballots)
+			var st store.Store
+			if cfg.Segmented {
+				segDir := filepath.Join(dir, fmt.Sprintf("vc-%d-seg", i))
+				// A reused DiskDir (sweeps re-running configs) holds stale
+				// segment builds; the writer refuses to overwrite them.
+				if err := os.RemoveAll(segDir); err != nil {
+					return nil, err
+				}
+				st, err = store.CreateSegmented(segDir, data.VC[i].Ballots,
+					store.WriterOptions{SegmentBallots: cfg.SegmentBallots})
+			} else {
+				st, err = store.CreateDisk(
+					filepath.Join(dir, fmt.Sprintf("vc-%d.store", i)), data.VC[i].Ballots)
+			}
 			if err != nil {
 				return nil, err
 			}
-			clusterOpts.Stores[i] = ds
+			clusterOpts.Stores[i] = st
 		}
 	}
 	cluster, err := core.NewCluster(data, clusterOpts)

@@ -7,7 +7,7 @@ import (
 )
 
 // Standard sweep axes, matching the paper's figures. Scales are documented
-// in DESIGN.md ("Substitutions") and EXPERIMENTS.md.
+// in DESIGN.md ("Substitutions").
 var (
 	// VCSweep is the x axis of Fig. 4a/4b/4d/4e (the paper uses 4..16).
 	VCSweep = []int{4, 7, 10, 13, 16}

@@ -1,0 +1,322 @@
+package benchmark
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddemos/internal/store"
+)
+
+// StorePoint is one column of the ballot-store read-path ablation — the
+// paper's Fig. 4/5a "database vs. in-memory cache" comparison (the journal
+// version runs the same sweep as a PostgreSQL pool vs. an eliminated-DB
+// cache): the same protocol-shaped read workload against one store
+// configuration.
+type StorePoint struct {
+	Config     string  // mem | flat-disk | segmented | segmented+cache
+	GetsPerSec float64 // ballot reads per second
+	Speedup    float64 // vs the flat-disk column (the uncached database stand-in)
+	HitRate    float64 // cache hit rate (cache column only)
+}
+
+// StoreAblationConfig tunes RunStoreAblation.
+type StoreAblationConfig struct {
+	// Ballots is the pool size (default 120000). The default cache budget
+	// covers only a few percent of it — the pool deliberately outgrows the
+	// cache, which is the regime the paper's Fig. 5a studies.
+	Ballots int
+	// Options is m, the per-part line count (default 2).
+	Options int
+	// Workers is the number of concurrent readers (default 16) — the
+	// election-side equivalent of concurrent message handlers hitting the
+	// store.
+	Workers int
+	// Touches is how many times each serial is read (default 3): the
+	// responder's validation plus the ENDORSE and VOTE_P handlers all Get
+	// the same ballot within a short window. The reads for one serial land
+	// within ~Window tasks of each other, giving the cache exactly the
+	// temporal locality the protocol produces — and nothing more, since the
+	// serial stream itself never repeats.
+	Touches int
+	// Window is the shuffle window, in tasks, within which one serial's
+	// touches are scattered (default 256).
+	Window int
+	// CacheBytes is the segmented+cache column's budget (default 8 MiB,
+	// ~2-4% of the default pool).
+	CacheBytes int64
+	// SegmentBallots is the segment capacity (default 25000, so the default
+	// pool spans several segments).
+	SegmentBallots int
+	// Dir hosts the store files (default: a temp dir).
+	Dir string
+	// Seed drives the workload shuffle (default 1).
+	Seed uint64
+}
+
+func (c StoreAblationConfig) withDefaults() StoreAblationConfig {
+	if c.Ballots <= 0 {
+		c.Ballots = 120_000
+	}
+	if c.Options <= 0 {
+		c.Options = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Touches <= 0 {
+		c.Touches = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 8 << 20
+	}
+	if c.SegmentBallots <= 0 {
+		c.SegmentBallots = 25_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// fabricateStorePool synthesizes n dense-serial ballots with deterministic
+// line payloads. The store layer never interprets them, so the ablation can
+// build million-ballot pools without paying EA setup's cryptography.
+func fabricateStorePool(n, m int) []*store.BallotData {
+	out := make([]*store.BallotData, n)
+	for i := range out {
+		b := &store.BallotData{Serial: uint64(i) + 1} //nolint:gosec // positive
+		for part := 0; part < 2; part++ {
+			b.Lines[part] = make([]store.Line, m)
+			for row := 0; row < m; row++ {
+				l := &b.Lines[part][row]
+				binary.BigEndian.PutUint64(l.Hash[:], b.Serial)
+				l.Hash[8], l.Hash[9] = byte(part), byte(row)
+				binary.BigEndian.PutUint64(l.Salt[:], b.Serial^0xFEED)
+				binary.BigEndian.PutUint64(l.Share[:], b.Serial*131+uint64(row))
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// storeTasks builds the protocol-shaped access stream: every serial appears
+// Touches times, each occurrence scattered within Window tasks of its
+// siblings, the stream otherwise advancing through the pool once.
+func storeTasks(cfg StoreAblationConfig) []uint64 {
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5702e)) //nolint:gosec // workload gen
+	tasks := make([]uint64, 0, cfg.Ballots*cfg.Touches)
+	for s := uint64(1); s <= uint64(cfg.Ballots); s++ { //nolint:gosec // positive
+		for t := 0; t < cfg.Touches; t++ {
+			tasks = append(tasks, s)
+		}
+	}
+	for i := range tasks {
+		span := cfg.Window
+		if rest := len(tasks) - i; rest < span {
+			span = rest
+		}
+		j := i + rng.IntN(span)
+		tasks[i], tasks[j] = tasks[j], tasks[i]
+	}
+	return tasks
+}
+
+// measureStorePoint runs the full task stream through st and returns
+// gets/sec. Fixed work (not a fixed duration) keeps the columns directly
+// comparable.
+func measureStorePoint(st store.Store, tasks []uint64, workers int) (float64, error) {
+	var next atomic.Int64
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(tasks)) {
+					return
+				}
+				bd, err := st.Get(tasks[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if bd.Serial != tasks[i] {
+					errCh <- fmt.Errorf("store returned serial %d for %d", bd.Serial, tasks[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return float64(len(tasks)) / elapsed.Seconds(), nil
+}
+
+// RunStoreAblation measures the ballot-store read path across the four
+// configurations of the paper's storage ablation — in-memory (database
+// eliminated), one flat file (the uncached database stand-in), the
+// segmented store, and the segmented store behind the admission-controlled
+// LRU sized below the pool. Every column serves the identical
+// protocol-shaped workload; the cache column's win over flat-disk is the
+// effect the paper reports when fronting the database with a cache, and it
+// is the ratio the CI baseline gates.
+func RunStoreAblation(cfg StoreAblationConfig) ([]StorePoint, error) {
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ddemos-store-ablation")
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+	}
+	pool := fabricateStorePool(cfg.Ballots, cfg.Options)
+	tasks := storeTasks(cfg)
+
+	flatPath := filepath.Join(dir, "flat.store")
+	segDir := filepath.Join(dir, "segments")
+	if err := os.RemoveAll(segDir); err != nil {
+		return nil, err
+	}
+	_ = os.Remove(flatPath)
+	flat, err := store.CreateDisk(flatPath, pool)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = flat.Close() }()
+	seg, err := store.CreateSegmented(segDir, pool, store.WriterOptions{SegmentBallots: cfg.SegmentBallots})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = seg.Close() }()
+	// The cache column opens its own handles so the uncached segmented
+	// column's reads do not warm or contend with it.
+	segForCache, err := store.OpenSegmented(segDir)
+	if err != nil {
+		return nil, err
+	}
+	cached, err := store.NewCached(segForCache, store.CachedOptions{MaxBytes: cfg.CacheBytes})
+	if err != nil {
+		_ = segForCache.Close()
+		return nil, err
+	}
+	defer func() { _ = cached.Close() }()
+
+	type column struct {
+		name string
+		st   store.Store
+	}
+	cols := []column{
+		{"mem", store.NewMem(pool)},
+		{"flat-disk", flat},
+		{"segmented", seg},
+		{"segmented+cache", cached},
+	}
+	points := make([]StorePoint, 0, len(cols))
+	var flatTput float64
+	for _, col := range cols {
+		tput, err := measureStorePoint(col.st, tasks, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("store ablation (%s): %w", col.name, err)
+		}
+		pt := StorePoint{Config: col.name, GetsPerSec: tput}
+		if col.name == "flat-disk" {
+			flatTput = tput
+		}
+		if col.name == "segmented+cache" {
+			pt.HitRate = cached.Stats().HitRate()
+		}
+		points = append(points, pt)
+	}
+	for i := range points {
+		if flatTput > 0 {
+			points[i].Speedup = points[i].GetsPerSec / flatTput
+		}
+	}
+	return points, nil
+}
+
+// PrintStoreAblation formats the ablation, one row per configuration.
+func PrintStoreAblation(w io.Writer, points []StorePoint, cfg StoreAblationConfig) {
+	cfg = cfg.withDefaults()
+	poolBytes := int64(cfg.Ballots) * int64(2*cfg.Options) * 136 //nolint:gosec // line bytes
+	fmt.Fprintf(w, "# Store ablation: ballot read path, %d-ballot pool (m=%d, ~%dMiB) vs %dMiB cache, %d touches/serial\n",
+		cfg.Ballots, cfg.Options, poolBytes>>20, cfg.CacheBytes>>20, cfg.Touches)
+	fmt.Fprintf(w, "%-18s %-16s %-10s %-10s\n", "config", "gets/sec", "vs-flat", "hit-rate")
+	for _, p := range points {
+		hit := "-"
+		if p.Config == "segmented+cache" {
+			hit = fmt.Sprintf("%.2f", p.HitRate)
+		}
+		fmt.Fprintf(w, "%-18s %-16.0f %-10.2f %-10s\n", p.Config, p.GetsPerSec, p.Speedup, hit)
+	}
+}
+
+// RunStoreElectionAblation is the end-to-end flavour: the same LAN
+// vote-collection workload over each store configuration, throughput in
+// receipts per second. The pool again outgrows the cache.
+func RunStoreElectionAblation(ballots, votes, clients, nv int, cacheBytes int64) ([]StorePoint, error) {
+	configs := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"mem", func(c *Config) {}},
+		{"flat-disk", func(c *Config) { c.Disk = true }},
+		{"segmented", func(c *Config) { c.Segmented = true }},
+		{"segmented+cache", func(c *Config) { c.Segmented = true; c.StoreCacheBytes = cacheBytes }},
+	}
+	points := make([]StorePoint, 0, len(configs))
+	var flatTput float64
+	for _, cc := range configs {
+		cfg := Config{
+			Ballots: ballots, Options: 2, VC: nv,
+			Clients: clients, Votes: votes,
+			Seed: "store-ablation-" + cc.name,
+		}
+		cc.mut(&cfg)
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("store election ablation (%s): %w", cc.name, err)
+		}
+		pt := StorePoint{Config: cc.name, GetsPerSec: res.Throughput}
+		if cc.name == "flat-disk" {
+			flatTput = res.Throughput
+		}
+		points = append(points, pt)
+	}
+	for i := range points {
+		if flatTput > 0 {
+			points[i].Speedup = points[i].GetsPerSec / flatTput
+		}
+	}
+	return points, nil
+}
+
+// PrintStoreElectionAblation formats the end-to-end sweep.
+func PrintStoreElectionAblation(w io.Writer, points []StorePoint, ballots int, cacheBytes int64) {
+	fmt.Fprintf(w, "# Store ablation (election): LAN vote collection vs store configuration (%d-ballot pool, %dMiB cache)\n",
+		ballots, cacheBytes>>20)
+	fmt.Fprintf(w, "%-18s %-16s %-10s\n", "config", "votes/sec", "vs-flat")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-18s %-16.1f %-10.2f\n", p.Config, p.GetsPerSec, p.Speedup)
+	}
+}

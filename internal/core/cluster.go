@@ -67,8 +67,15 @@ type Options struct {
 	// ByzantineTrustees marks trustees (by index) that post garbage shares.
 	ByzantineTrustees map[int]trustee.Byzantine
 	// Stores optionally supplies a custom ballot store per VC node index
-	// (e.g. the disk store for the Fig. 5a experiment).
+	// (e.g. the disk or segmented store for the Fig. 5a experiment).
 	Stores map[int]store.Store
+	// StoreCache wraps every supplied ballot store with the byte-bounded
+	// admission-controlled LRU (store.Cached) of this many bytes — the
+	// paper's cache-vs-database knob for pools that outgrow memory. The
+	// cache is per node incarnation (a restarted node comes back cold) and
+	// is ignored for nodes using the default in-memory store, which has
+	// nothing to cache.
+	StoreCache int64
 	// Workers sizes each VC node's message-processing pool.
 	Workers int
 	// DataDir, when set, gives every VC node a durable runtime-state
@@ -227,9 +234,17 @@ func (c *Cluster) buildVC(i int) (*vc.Node, error) {
 		}
 		ep = transport.NewBatcher(ep, bopts)
 	}
+	st := opts.Stores[i]
+	if st != nil && opts.StoreCache > 0 {
+		cached, err := store.NewCached(st, store.CachedOptions{MaxBytes: opts.StoreCache})
+		if err != nil {
+			return nil, fmt.Errorf("core: caching store for vc %d: %w", i, err)
+		}
+		st = cached
+	}
 	node, err := vc.New(vc.Config{
 		Init:      data.VC[i],
-		Store:     opts.Stores[i],
+		Store:     st,
 		Endpoint:  ep,
 		Clock:     c.Clock,
 		Coin:      consensus.NewHashCoin([]byte(man.ElectionID)),

@@ -23,6 +23,7 @@ type Disk struct {
 	m           int // options per part
 	firstSerial uint64
 	count       uint64
+	bufs        sync.Pool // per-Get record buffers (*[]byte, 2*m*lineSize each)
 }
 
 var _ Store = (*Disk)(nil)
@@ -34,6 +35,33 @@ const (
 	headerSize   = 4 + 2 + 2 + 8 + 8
 	maxDiskLines = 1 << 16
 )
+
+// encodeDiskHeader builds the fixed file header (shared with the segment
+// Writer, whose segment files are v1 flat stores for their serial range).
+func encodeDiskHeader(m int, first, count uint64) []byte {
+	header := make([]byte, headerSize)
+	copy(header, diskMagic)
+	binary.BigEndian.PutUint16(header[4:], diskVersion)
+	binary.BigEndian.PutUint16(header[6:], uint16(m)) //nolint:gosec // small
+	binary.BigEndian.PutUint64(header[8:], first)
+	binary.BigEndian.PutUint64(header[16:], count)
+	return header
+}
+
+// encodeRecord serializes one ballot's 2*m lines into rec (len 2*m*lineSize).
+func encodeRecord(rec []byte, b *BallotData, m int) {
+	off := 0
+	for part := 0; part < 2; part++ {
+		for row := 0; row < m; row++ {
+			l := &b.Lines[part][row]
+			copy(rec[off:], l.Hash[:])
+			copy(rec[off+32:], l.Salt[:])
+			copy(rec[off+40:], l.Share[:])
+			copy(rec[off+72:], l.ShareSig[:])
+			off += lineSize
+		}
+	}
+}
 
 // CreateDisk writes all ballots to path. Ballots must have dense serials
 // (first, first+1, ...) in order, all with the same number of options.
@@ -50,13 +78,7 @@ func CreateDisk(path string, ballots []*BallotData) (*Disk, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", path, err)
 	}
-	header := make([]byte, headerSize)
-	copy(header, diskMagic)
-	binary.BigEndian.PutUint16(header[4:], diskVersion)
-	binary.BigEndian.PutUint16(header[6:], uint16(m)) //nolint:gosec // small
-	binary.BigEndian.PutUint64(header[8:], first)
-	binary.BigEndian.PutUint64(header[16:], uint64(len(ballots)))
-	if _, err := f.Write(header); err != nil {
+	if _, err := f.Write(encodeDiskHeader(m, first, uint64(len(ballots)))); err != nil {
 		_ = f.Close()
 		return nil, fmt.Errorf("store: write header: %w", err)
 	}
@@ -70,17 +92,7 @@ func CreateDisk(path string, ballots []*BallotData) (*Disk, error) {
 			_ = f.Close()
 			return nil, fmt.Errorf("store: ballot %d has inconsistent line count", b.Serial)
 		}
-		off := 0
-		for part := 0; part < 2; part++ {
-			for row := 0; row < m; row++ {
-				l := &b.Lines[part][row]
-				copy(rec[off:], l.Hash[:])
-				copy(rec[off+32:], l.Salt[:])
-				copy(rec[off+40:], l.Share[:])
-				copy(rec[off+72:], l.ShareSig[:])
-				off += lineSize
-			}
-		}
+		encodeRecord(rec, b, m)
 		if _, err := f.Write(rec); err != nil {
 			_ = f.Close()
 			return nil, fmt.Errorf("store: write ballot %d: %w", b.Serial, err)
@@ -158,7 +170,16 @@ func (d *Disk) Get(serial uint64) (*BallotData, error) {
 	}
 	recSize := int64(2 * d.m * lineSize)
 	off := int64(headerSize) + int64(serial-d.firstSerial)*recSize
-	rec := make([]byte, recSize)
+	// The read buffer is pooled: every Get used to allocate it fresh, which
+	// at millions of ballots made the read path GC-bound before it was
+	// IO-bound. The decoded BallotData still escapes to the caller.
+	var rec []byte
+	if p, ok := d.bufs.Get().(*[]byte); ok {
+		rec = *p
+	} else {
+		rec = make([]byte, recSize)
+	}
+	defer d.bufs.Put(&rec)
 	if _, err := d.f.ReadAt(rec, off); err != nil {
 		return nil, fmt.Errorf("store: read serial %d: %w", serial, err)
 	}

@@ -1,9 +1,24 @@
 // Package store holds a Vote Collector node's initialization data: per
 // ballot, per part, the shuffled ⟨hash-commitment, salt, receipt-share⟩
-// lines of §III-D. Two implementations are provided: an in-memory map (the
-// paper's "database eliminated" cache configuration used for the Fig. 4
-// scalability runs) and a disk-backed fixed-record file (standing in for
-// the paper's PostgreSQL store, exercised by the Fig. 5a pool-size sweep).
+// lines of §III-D, plus the write-ahead log (wal.go) the VC journal builds
+// on. Four Store implementations cover the paper's storage ablation and the
+// millions-of-ballots target:
+//
+//   - Mem: an in-memory map — the paper's "database eliminated" cache
+//     configuration used for the Fig. 4 scalability runs.
+//   - Disk: one flat fixed-record file (v1), standing in for the paper's
+//     PostgreSQL store; lookups cost one positional read.
+//   - Segmented: the pool sharded by serial range across fixed-record
+//     segment files plus a manifest. A streaming Writer lets EA setup emit
+//     segments without holding the whole pool in memory; each segment file
+//     is itself a valid v1 flat store, so OpenDisk keeps working.
+//   - Cached: a byte-bounded, admission-controlled LRU over any Store with
+//     single-flight loading, recovering most of Mem's speed on pools that
+//     outgrow the budget (the cache-vs-database effect of Fig. 5a).
+//
+// See DESIGN.md "Ballot store read path" for the layout and the eviction /
+// admission rationale, and benchmark.RunStoreAblation (ddemos-bench -fig
+// store) for the measured mem / flat / segmented / segmented+cache columns.
 package store
 
 import (

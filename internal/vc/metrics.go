@@ -3,6 +3,8 @@ package vc
 import (
 	"sync/atomic"
 	"time"
+
+	"ddemos/internal/store"
 )
 
 // Metrics collects the node's operational counters. The per-step timing
@@ -50,6 +52,15 @@ type Snapshot struct {
 	Snapshots      int64
 	StrictRefusals int64
 
+	// Ballot-store cache counters, populated when the node's store is a
+	// store.Cached (zero otherwise). StoreShared counts misses that joined
+	// another Get's in-flight read — the single-flight win.
+	StoreHits      int64
+	StoreMisses    int64
+	StoreShared    int64
+	StoreEvictions int64
+	StoreBytes     int64
+
 	AvgEndorse time.Duration
 	AvgVote    time.Duration
 }
@@ -67,6 +78,14 @@ func (n *Node) Metrics() Snapshot {
 		JournalErrors:  n.metrics.JournalErrors.Load(),
 		Snapshots:      n.metrics.Snapshots.Load(),
 		StrictRefusals: n.metrics.StrictRefusals.Load(),
+	}
+	if c, ok := n.st.(*store.Cached); ok {
+		cs := c.Stats()
+		s.StoreHits = cs.Hits
+		s.StoreMisses = cs.Misses
+		s.StoreShared = cs.Shared
+		s.StoreEvictions = cs.Evictions
+		s.StoreBytes = cs.Bytes
 	}
 	if c := n.metrics.EndorseCount.Load(); c > 0 {
 		s.AvgEndorse = time.Duration(n.metrics.EndorseNanos.Load() / c)
