@@ -252,6 +252,49 @@ func BenchmarkStoreAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkTallyAblation — the publish-phase pipeline sweep: the same
+// trustee posts combined sequentially (the seed's per-element verification),
+// in parallel, and through the batched random-linear-combination verifier.
+// The CI baseline gates tally-speedup (parallel+batched vs sequential) — a
+// ratio of combine times over identical work, so runner speed cannot flap
+// the gate; on a single-CPU runner the win comes from batching alone. The
+// Byzantine sweep rides along: combine cost must grow linearly with the
+// number of garbage-share trustees (blame, not the seed's exponential
+// subset search).
+func BenchmarkTallyAblation(b *testing.B) {
+	cfg := benchmark.TallyAblationConfig{Ballots: 2_000, Votes: 200}
+	sweepCfg := benchmark.TallyAblationConfig{Ballots: 200, Votes: 30, Trustees: 7}
+	for i := 0; i < b.N; i++ {
+		points, err := benchmark.RunTallyAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]benchmark.TallyPoint{}
+		for _, pt := range points {
+			byName[pt.Config] = pt
+			b.Logf("config=%s combine=%.3fs audit=%.3fs speedup=%.2f fallbacks=%d",
+				pt.Config, pt.CombineSec, pt.AuditSec, pt.Speedup, pt.Fallbacks)
+		}
+		b.ReportMetric(byName["sequential"].CombineSec, "seq-combine-sec")
+		b.ReportMetric(byName["parallel+batched"].CombineSec, "batched-combine-sec")
+		b.ReportMetric(byName["parallel+batched"].AuditSec, "batched-audit-sec")
+		b.ReportMetric(byName["parallel+batched"].Speedup, "tally-speedup")
+
+		sweep, err := benchmark.RunByzantineTallySweep(sweepCfg, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range sweep {
+			b.Logf("garbage=%d combine=%.3fs attempts=%d blames=%d",
+				pt.Garbage, pt.CombineSec, pt.Attempts, pt.Blames)
+		}
+		if n := len(sweep); n >= 2 && sweep[0].CombineSec > 0 {
+			b.ReportMetric(sweep[n-1].CombineSec/sweep[0].CombineSec,
+				fmt.Sprintf("byz-combine-cost@%d", sweep[n-1].Garbage))
+		}
+	}
+}
+
 // BenchmarkTable1StepBounds — Table I: evaluates the liveness time upper
 // bounds for every protocol step from measured Tcomp and the simulated
 // network's δ, and checks the measured end-to-end latency against Twait.

@@ -19,6 +19,9 @@ import (
 func main() {
 	initPath := flag.String("init", "", "path to bb.gob")
 	httpAddr := flag.String("http", ":9100", "public HTTP address")
+	combineWorkers := flag.Int("combine-workers", 0, "parallelism of tally combine attempts (0 = GOMAXPROCS)")
+	noBatchVerify := flag.Bool("no-batch-verify", false, "disable batched opening verification (per-element checks)")
+	metricsEvery := flag.Duration("metrics-every", 0, "log publish-phase metrics at this interval (0 = off; also served at GET /metrics)")
 	flag.Parse()
 	if *initPath == "" {
 		log.Fatal("-init is required")
@@ -30,6 +33,18 @@ func main() {
 	node, err := bb.NewNode(&init)
 	if err != nil {
 		log.Fatal(err)
+	}
+	node.CombineWorkers = *combineWorkers
+	node.DisableBatchVerify = *noBatchVerify
+	if *metricsEvery > 0 {
+		go func() {
+			for range time.Tick(*metricsEvery) {
+				s := node.Metrics()
+				log.Printf("metrics: posts=%d rejected=%d blamed=%d attempts=%d combine=%s fallbacks=%d published=%v",
+					s.PostsAccepted, s.PostsRejected, s.BadPostBlames,
+					s.CombineAttempts, s.CombineTime, s.BatchFallbacks, s.ResultPublished)
+			}
+		}()
 	}
 	log.Printf("bb node serving election %q on %s", init.Manifest.ElectionID, *httpAddr)
 	srv := &http.Server{Addr: *httpAddr, Handler: httpapi.BBHandler(node), ReadHeaderTimeout: 10 * time.Second}

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,store,store-election,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,store,store-election,tally,all")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	authenticated := flag.Bool("authenticated", false, "sign inter-VC channels (Fig4 sweeps)")
 	batchWindow := flag.Duration("batch-window", 0,
@@ -120,6 +120,29 @@ func main() {
 			benchmark.PrintStoreElectionAblation(os.Stdout, points, ballotsS, cacheBytes)
 			return nil
 		},
+		"tally": func() error {
+			// Publish-phase pipeline ablation plus the Byzantine combine-cost
+			// sweep. The 10k-ballot pool is the regime the ISSUE gates: the
+			// batched opening check dominates combine time, so the speedup
+			// holds even on a single CPU.
+			cfg := benchmark.TallyAblationConfig{Ballots: 10_000, Votes: 500}
+			sweepCfg := benchmark.TallyAblationConfig{Ballots: 600, Votes: 60, Trustees: 7}
+			if *quick {
+				cfg = benchmark.TallyAblationConfig{Ballots: 1500, Votes: 150}
+				sweepCfg = benchmark.TallyAblationConfig{Ballots: 200, Votes: 30, Trustees: 7}
+			}
+			points, err := benchmark.RunTallyAblation(cfg)
+			if err != nil {
+				return err
+			}
+			benchmark.PrintTallyAblation(os.Stdout, points, cfg)
+			sweep, err := benchmark.RunByzantineTallySweep(sweepCfg, 3)
+			if err != nil {
+				return err
+			}
+			benchmark.PrintByzantineTallySweep(os.Stdout, sweep, sweepCfg)
+			return nil
+		},
 		"pool-election": func() error {
 			votesP, clientsP := 1200, 200
 			if *quick {
@@ -136,7 +159,7 @@ func main() {
 
 	// 4a/4b and 4d/4e share one sweep (latency and throughput of the same
 	// runs); dedupe when running everything.
-	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool", "store"}
+	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool", "store", "tally"}
 	if *fig == "all" {
 		for _, name := range order {
 			fmt.Printf("\n===== figure %s =====\n", name)

@@ -15,6 +15,10 @@
 // Plus the global checks that make the tally end-to-end verifiable: the
 // published counts open the homomorphic sum of exactly the cast
 // commitments, and the challenge coins are consistent with the cast codes.
+//
+// The expensive checks — (d) and (e) — run in parallel across rows, and
+// (d) uses the batched random-linear-combination opening check; failure
+// messages are still reported in deterministic board order.
 package auditor
 
 import (
@@ -27,8 +31,24 @@ import (
 	"ddemos/internal/crypto/votecode"
 	"ddemos/internal/crypto/zkp"
 	"ddemos/internal/ea"
+	"ddemos/internal/parallel"
 	"ddemos/internal/voter"
 )
+
+// auditBatchChunk is the number of openings per batched verification; the
+// multi-scalar multiplication behind the batch check only wins past a few
+// hundred terms, so chunks are large.
+const auditBatchChunk = 2048
+
+// Options tunes how the audit runs; the zero value matches Audit.
+type Options struct {
+	// Workers bounds the parallelism of checks (d) and (e)
+	// (0 = GOMAXPROCS).
+	Workers int
+	// DisableBatchVerify forces per-element opening verification instead of
+	// the batched random-linear-combination check.
+	DisableBatchVerify bool
+}
 
 // Report is the outcome of an audit.
 type Report struct {
@@ -51,6 +71,11 @@ func (r *Report) failf(format string, args ...any) {
 // Audit runs the full election verification, plus delegated checks for any
 // provided voter packages.
 func Audit(reader *bb.Reader, packages []*ballot.AuditPackage) (*Report, error) {
+	return AuditWith(reader, packages, Options{})
+}
+
+// AuditWith is Audit with explicit tuning options.
+func AuditWith(reader *bb.Reader, packages []*ballot.AuditPackage, opts Options) (*Report, error) {
 	rep := &Report{}
 	man, err := reader.Manifest()
 	if err != nil {
@@ -136,70 +161,24 @@ func Audit(reader *bb.Reader, packages []*ballot.AuditPackage) (*Report, error) 
 		rep.failf("vote set has %d entries but %d were located on ballots", len(voteSet), len(cast.Marks))
 	}
 
-	// (d) openings valid and unit vectors.
-	for _, o := range result.Openings {
-		if o.Serial == 0 || o.Serial > uint64(man.NumBallots) || o.Part > 1 || o.Row >= m || o.Row < 0 {
-			rep.failf("opening with invalid coordinates (%d,%d,%d)", o.Serial, o.Part, o.Row)
-			continue
-		}
-		row := init.Ballots[o.Serial-1].Parts[o.Part][o.Row]
-		if len(o.Ms) != m || len(o.Rs) != m {
-			rep.failf("opening (%d,%d,%d) has wrong arity", o.Serial, o.Part, o.Row)
-			continue
-		}
-		ok := true
-		for col := 0; col < m; col++ {
-			if !ck.VerifyOpening(row.Commitment[col], o.Ms[col], o.Rs[col]) {
-				rep.failf("opening (%d,%d,%d) col %d does not match commitment", o.Serial, o.Part, o.Row, col)
-				ok = false
-			}
-		}
-		if ok {
-			op := elgamal.VectorOpening{Ms: o.Ms, Rs: o.Rs}
-			hot, err := op.HotIndex()
-			if err != nil {
-				rep.failf("opening (%d,%d,%d) is not a unit vector: %v", o.Serial, o.Part, o.Row, err)
-			} else if hot != o.HotIndex {
-				rep.failf("opening (%d,%d,%d) hot index mislabeled", o.Serial, o.Part, o.Row)
-			}
-		}
-		rep.OpeningsChecked++
-	}
+	auditOpenings(rep, &man, init, result, ck, opts)
+	auditProofs(rep, &man, init, result, ck, master, opts)
 
-	// (e) ZK proofs on used parts, under the voter-coin challenge.
-	provenRows := make(map[[3]uint64]bool, len(result.Proofs))
-	for _, p := range result.Proofs {
-		if p.Serial == 0 || p.Serial > uint64(man.NumBallots) || p.Part > 1 || p.Row >= m || p.Row < 0 || len(p.Bits) != m {
-			rep.failf("proof with invalid coordinates (%d,%d,%d)", p.Serial, p.Part, p.Row)
-			continue
-		}
-		row := init.Ballots[p.Serial-1].Parts[p.Part][p.Row]
-		for col := 0; col < m; col++ {
-			c := zkp.DeriveChallenge(master, p.Serial, p.Part, p.Row, col)
-			if !zkp.VerifyBit(ck, row.Commitment[col], row.BitCommits[col], p.Bits[col], c) {
-				rep.failf("bit proof (%d,%d,%d) col %d invalid", p.Serial, p.Part, p.Row, col)
-			}
-			rep.ProofsChecked++
-		}
-		c := zkp.DeriveChallenge(master, p.Serial, p.Part, p.Row, zkp.SumProofCol)
-		if !zkp.VerifySum(ck, row.Commitment, 1, row.SumCommit, p.Sum, c) {
-			rep.failf("sum proof (%d,%d,%d) invalid", p.Serial, p.Part, p.Row)
-		}
-		rep.ProofsChecked++
-		provenRows[[3]uint64{p.Serial, uint64(p.Part), uint64(p.Row)}] = true
-	}
 	// Completeness: every row of every used part must carry proofs, every
 	// other row must be opened.
+	provenRows := make(map[[3]uint64]bool, len(result.Proofs))
+	for _, p := range result.Proofs {
+		provenRows[[3]uint64{p.Serial, uint64(p.Part), uint64(p.Row)}] = true
+	}
 	openedRows := make(map[[3]uint64]bool, len(result.Openings))
 	for _, o := range result.Openings {
 		openedRows[[3]uint64{o.Serial, uint64(o.Part), uint64(o.Row)}] = true
 	}
-	usedPart := make(map[uint64]uint8, len(used))
-	for serial, u := range used {
-		for part := range u.parts {
-			usedPart[serial] = part
-		}
-	}
+	// The expectation of which rows carry proofs vs openings follows the
+	// same §III-H validation BB nodes and trustees apply: an invalidly-used
+	// ballot (both parts, too many codes) is treated as unvoted, so both
+	// parts must be opened. Checks (b)/(c) above still flag the anomaly.
+	usedPart := bb.UsedParts(man.MaxSelections, cast.Marks)
 	for serial := uint64(1); serial <= uint64(man.NumBallots); serial++ {
 		up, voted := usedPart[serial]
 		for part := uint8(0); part < 2; part++ {
@@ -242,8 +221,145 @@ func Audit(reader *bb.Reader, packages []*ballot.AuditPackage) (*Report, error) 
 	return rep, nil
 }
 
+// auditOpenings runs check (d): every published opening matches its
+// commitment and encodes a correctly-labeled unit vector. Per-opening
+// failure messages are buffered and merged in board order so parallelism
+// and batching never reorder the report.
+func auditOpenings(rep *Report, man *ea.Manifest, init *ea.BBInit, result *bb.Result, ck elgamal.CommitmentKey, opts Options) {
+	m := len(man.Options)
+	n := len(result.Openings)
+	msgs := make([][]string, n)
+	colOK := make([]bool, n)
+
+	// Cheap structural pass (sequential): coordinates and arity.
+	type ref struct{ oi, col int }
+	var cts []elgamal.Ciphertext
+	var ms, rs []*big.Int
+	var refs []ref
+	for oi := range result.Openings {
+		o := &result.Openings[oi]
+		if o.Serial == 0 || o.Serial > uint64(man.NumBallots) || o.Part > 1 || o.Row >= m || o.Row < 0 {
+			msgs[oi] = append(msgs[oi], fmt.Sprintf("opening with invalid coordinates (%d,%d,%d)", o.Serial, o.Part, o.Row))
+			continue
+		}
+		if len(o.Ms) != m || len(o.Rs) != m {
+			msgs[oi] = append(msgs[oi], fmt.Sprintf("opening (%d,%d,%d) has wrong arity", o.Serial, o.Part, o.Row))
+			continue
+		}
+		colOK[oi] = true
+		if !opts.DisableBatchVerify {
+			row := init.Ballots[o.Serial-1].Parts[o.Part][o.Row]
+			for col := 0; col < m; col++ {
+				cts = append(cts, row.Commitment[col])
+				ms = append(ms, o.Ms[col])
+				rs = append(rs, o.Rs[col])
+				refs = append(refs, ref{oi, col})
+			}
+		}
+	}
+
+	if opts.DisableBatchVerify {
+		parallel.Run(opts.Workers, n, func(oi int) {
+			o := &result.Openings[oi]
+			if !colOK[oi] {
+				return
+			}
+			row := init.Ballots[o.Serial-1].Parts[o.Part][o.Row]
+			for col := 0; col < m; col++ {
+				if !ck.VerifyOpening(row.Commitment[col], o.Ms[col], o.Rs[col]) {
+					msgs[oi] = append(msgs[oi], fmt.Sprintf("opening (%d,%d,%d) col %d does not match commitment", o.Serial, o.Part, o.Row, col))
+					colOK[oi] = false
+				}
+			}
+		})
+	} else {
+		// Batched verification in large chunks; a failing chunk falls back
+		// to per-element checks to produce exact failure locations.
+		nChunks := (len(cts) + auditBatchChunk - 1) / auditBatchChunk
+		chunkMsgs := make([][][2]int, nChunks) // per chunk: failing (oi, col)
+		parallel.Run(opts.Workers, nChunks, func(ci int) {
+			lo := ci * auditBatchChunk
+			hi := lo + auditBatchChunk
+			if hi > len(cts) {
+				hi = len(cts)
+			}
+			ok, err := ck.VerifyOpeningsBatch(cts[lo:hi], ms[lo:hi], rs[lo:hi], nil)
+			if err == nil && ok {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				if !ck.VerifyOpening(cts[i], ms[i], rs[i]) {
+					chunkMsgs[ci] = append(chunkMsgs[ci], [2]int{refs[i].oi, refs[i].col})
+				}
+			}
+		})
+		for _, fails := range chunkMsgs {
+			for _, f := range fails {
+				o := &result.Openings[f[0]]
+				msgs[f[0]] = append(msgs[f[0]], fmt.Sprintf("opening (%d,%d,%d) col %d does not match commitment", o.Serial, o.Part, o.Row, f[1]))
+				colOK[f[0]] = false
+			}
+		}
+	}
+
+	parallel.Run(opts.Workers, n, func(oi int) {
+		if !colOK[oi] {
+			return
+		}
+		o := &result.Openings[oi]
+		op := elgamal.VectorOpening{Ms: o.Ms, Rs: o.Rs}
+		hot, err := op.HotIndex()
+		if err != nil {
+			msgs[oi] = append(msgs[oi], fmt.Sprintf("opening (%d,%d,%d) is not a unit vector: %v", o.Serial, o.Part, o.Row, err))
+		} else if hot != o.HotIndex {
+			msgs[oi] = append(msgs[oi], fmt.Sprintf("opening (%d,%d,%d) hot index mislabeled", o.Serial, o.Part, o.Row))
+		}
+	})
+
+	for oi := 0; oi < n; oi++ {
+		rep.Failures = append(rep.Failures, msgs[oi]...)
+		rep.OpeningsChecked++
+	}
+}
+
+// auditProofs runs check (e): every published proof verifies under the
+// voter-coin challenge. Proofs are independent, so they verify in parallel;
+// messages merge in board order.
+func auditProofs(rep *Report, man *ea.Manifest, init *ea.BBInit, result *bb.Result, ck elgamal.CommitmentKey, master []byte, opts Options) {
+	m := len(man.Options)
+	n := len(result.Proofs)
+	msgs := make([][]string, n)
+	checked := make([]int, n)
+	parallel.Run(opts.Workers, n, func(pi int) {
+		p := &result.Proofs[pi]
+		if p.Serial == 0 || p.Serial > uint64(man.NumBallots) || p.Part > 1 || p.Row >= m || p.Row < 0 || len(p.Bits) != m {
+			msgs[pi] = append(msgs[pi], fmt.Sprintf("proof with invalid coordinates (%d,%d,%d)", p.Serial, p.Part, p.Row))
+			return
+		}
+		row := init.Ballots[p.Serial-1].Parts[p.Part][p.Row]
+		for col := 0; col < m; col++ {
+			c := zkp.DeriveChallenge(master, p.Serial, p.Part, p.Row, col)
+			if !zkp.VerifyBit(ck, row.Commitment[col], row.BitCommits[col], p.Bits[col], c) {
+				msgs[pi] = append(msgs[pi], fmt.Sprintf("bit proof (%d,%d,%d) col %d invalid", p.Serial, p.Part, p.Row, col))
+			}
+			checked[pi]++
+		}
+		c := zkp.DeriveChallenge(master, p.Serial, p.Part, p.Row, zkp.SumProofCol)
+		if !zkp.VerifySum(ck, row.Commitment, 1, row.SumCommit, p.Sum, c) {
+			msgs[pi] = append(msgs[pi], fmt.Sprintf("sum proof (%d,%d,%d) invalid", p.Serial, p.Part, p.Row))
+		}
+		checked[pi]++
+	})
+	for pi := 0; pi < n; pi++ {
+		rep.Failures = append(rep.Failures, msgs[pi]...)
+		rep.ProofsChecked += checked[pi]
+	}
+}
+
 // auditTally recomputes the homomorphic sum of the cast commitments and
-// verifies the published opening and counts.
+// verifies the published opening and counts. It deliberately does NOT use
+// the BB nodes' incremental aggregate: an independent recomputation is the
+// whole point of the audit.
 func auditTally(rep *Report, man *ea.Manifest, init *ea.BBInit, cast *bb.CastData, result *bb.Result) {
 	m := len(man.Options)
 	ck := man.CommitmentKey()

@@ -1,0 +1,686 @@
+package bb
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ddemos/internal/crypto/elgamal"
+	"ddemos/internal/crypto/group"
+	"ddemos/internal/crypto/shamir"
+	"ddemos/internal/crypto/zkp"
+	"ddemos/internal/ea"
+	"ddemos/internal/parallel"
+)
+
+// Tuning knobs for the combine pipeline.
+const (
+	// batchChunk is the number of openings verified per random-linear-
+	// combination batch. Chunks must be large: the multi-scalar
+	// multiplication only beats per-element verification past a couple
+	// hundred terms (see internal/crypto/group).
+	batchChunk = 2048
+	// maxBlamedFailures caps how many failed rows the blame pass analyses
+	// per attempt. One failure suffices to identify one bad trustee;
+	// remaining bad posts are caught on subsequent attempts.
+	maxBlamedFailures = 8
+	// abortFailures aborts an attempt once this many rows have failed: the
+	// attempt cannot succeed anymore, and the cap bounds the EC work a
+	// fully-garbage post can cause per attempt.
+	abortFailures = 64
+)
+
+// combinedBallot caches one ballot's verified combination across attempts.
+// Lifted-ElGamal commitments are perfectly binding — (A, B) determines
+// (m, r) uniquely — so openings verified against the public commitments
+// are THE openings, independent of which subset produced them, and never
+// need recomputation when the subset changes.
+type combinedBallot struct {
+	openings []OpenedRow
+	proofs   []ProvenRow
+}
+
+// rowCheck re-verifies one failed row under an arbitrary subset of posts;
+// the blame protocol uses it to classify candidates. A nil check marks an
+// unrecoverable failure that no trustee can be blamed for (e.g. the
+// opened row is not a unit vector — an EA fault).
+type rowCheck struct {
+	desc  string
+	check func(sub []*TrusteePost) bool
+}
+
+// combineEnv is the immutable context of one combine attempt, snapshotted
+// under n.mu so the attempt itself runs entirely off-lock.
+type combineEnv struct {
+	man     *ea.Manifest
+	ck      elgamal.CommitmentKey
+	m       int
+	order   *big.Int
+	master  []byte
+	used    map[uint64]uint8
+	agg     elgamal.VectorCiphertext
+	shares  map[int]*postShares
+	workers int
+	noBatch bool
+}
+
+func shareIndices(posts []*TrusteePost) []uint32 {
+	out := make([]uint32, len(posts))
+	for i, p := range posts {
+		out[i] = p.ShareIndex
+	}
+	return out
+}
+
+// kickCombineLocked starts (or re-arms) the background combine worker.
+// Callers hold n.mu.
+func (n *Node) kickCombineLocked() {
+	if n.result != nil || n.tallyAggErr != nil {
+		return
+	}
+	if n.combineRunning {
+		n.combinePending = true
+		return
+	}
+	if len(n.posts) < n.init.Manifest.TrusteeThreshold {
+		return
+	}
+	n.combineRunning = true
+	go n.combineWorker()
+}
+
+// candidatesLocked returns the posts eligible for the next attempt, sorted
+// by trustee index: the non-blamed posts, or — if blame has eaten into the
+// pool so deeply that fewer than ht remain — every post, so a mis-blame
+// under colluding trustees degrades liveness only until more posts arrive,
+// never permanently.
+func (n *Node) candidatesLocked() []*TrusteePost {
+	ht := n.init.Manifest.TrusteeThreshold
+	var out []*TrusteePost
+	for _, p := range n.posts {
+		if !n.badPosts[p.Trustee] {
+			out = append(out, p)
+		}
+	}
+	if len(out) < ht {
+		out = out[:0]
+		for _, p := range n.posts {
+			out = append(out, p)
+		}
+		if len(out) < ht {
+			return nil
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trustee < out[j].Trustee })
+	return out
+}
+
+// combineWorker runs combine attempts until a result is published or no
+// further progress is possible; it exits when idle and is restarted by the
+// next post. Exactly one worker runs at a time (combineRunning), which
+// also makes it the sole owner of n.combineCache.
+func (n *Node) combineWorker() {
+	for {
+		n.mu.Lock()
+		if n.result != nil {
+			n.combineRunning = false
+			n.mu.Unlock()
+			return
+		}
+		n.combinePending = false
+		cands := n.candidatesLocked()
+		if cands == nil {
+			n.combineRunning = false
+			n.mu.Unlock()
+			return
+		}
+		man := &n.init.Manifest
+		env := &combineEnv{
+			man:     man,
+			ck:      man.CommitmentKey(),
+			m:       len(man.Options),
+			order:   group.Order(),
+			master:  zkp.MasterChallenge(man.ElectionID, n.cast.Coins),
+			used:    n.usedParts,
+			agg:     n.tallyAgg,
+			shares:  make(map[int]*postShares, len(n.shareIdx)),
+			workers: n.CombineWorkers,
+			noBatch: n.DisableBatchVerify,
+		}
+		for t, ps := range n.shareIdx {
+			env.shares[t] = ps
+		}
+		gate := n.CombineGate
+		n.mu.Unlock()
+
+		if gate != nil {
+			gate()
+		}
+		start := time.Now()
+		res, blamed := n.combineAttempt(env, cands)
+		n.metrics.CombineAttempts.Add(1)
+		n.metrics.CombineNanos.Add(time.Since(start).Nanoseconds())
+
+		n.mu.Lock()
+		if res != nil {
+			if n.result == nil {
+				n.result = res
+				close(n.resultCh)
+			}
+			n.combineRunning = false
+			n.mu.Unlock()
+			return
+		}
+		progress := false
+		for _, t := range blamed {
+			if !n.badPosts[t] {
+				n.badPosts[t] = true
+				n.metrics.BadPostBlames.Add(1)
+				progress = true
+			}
+		}
+		if !progress && !n.combinePending {
+			n.combineRunning = false
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+	}
+}
+
+// combineAttempt runs one full combination over the first ht candidates.
+// It returns either a verified Result, or the trustees blamed for the
+// failures (empty when inconclusive — e.g. every candidate subset fails,
+// which means more posts are needed).
+func (n *Node) combineAttempt(env *combineEnv, cands []*TrusteePost) (*Result, []int) {
+	ht := env.man.TrusteeThreshold
+	if len(cands) < ht {
+		return nil, nil
+	}
+	subset := append([]*TrusteePost(nil), cands[:ht]...)
+	lam, err := shamir.LagrangeCoefficients(shareIndices(subset))
+	if err != nil {
+		return nil, nil
+	}
+	ballots := n.init.Ballots
+
+	// Stage A: per-ballot scalar combination + ZK verification, parallel
+	// across ballots. Openings are combined here but (in batch mode) only
+	// verified in stage B.
+	type pendRef struct {
+		bi, row, col int
+	}
+	type ballotOut struct {
+		cb      *combinedBallot
+		cached  bool
+		skipped bool
+		pendCt  []elgamal.Ciphertext
+		pendM   []*big.Int
+		pendR   []*big.Int
+		pendRef []pendRef
+		fails   []rowCheck
+	}
+	outs := make([]ballotOut, len(ballots))
+	var failCount atomic.Int64
+	parallel.Run(env.workers, len(ballots), func(bi int) {
+		out := &outs[bi]
+		bbb := &ballots[bi]
+		if cb, ok := n.combineCache[bbb.Serial]; ok {
+			out.cb, out.cached = cb, true
+			return
+		}
+		if failCount.Load() >= abortFailures {
+			out.skipped = true
+			return
+		}
+		cb := &combinedBallot{}
+		usedPart, voted := env.used[bbb.Serial]
+		for part := 0; part < 2; part++ {
+			rows := bbb.Parts[part]
+			if voted && uint8(part) == usedPart { //nolint:gosec // part<2
+				for row := range rows {
+					pr, checks := env.combineProofRow(subset, bbb, part, row)
+					if len(checks) > 0 {
+						out.fails = append(out.fails, checks...)
+						failCount.Add(int64(len(checks)))
+						continue
+					}
+					cb.proofs = append(cb.proofs, pr)
+				}
+				continue
+			}
+			for row := range rows {
+				k := combineKey{bbb.Serial, uint8(part), row} //nolint:gosec // part<2
+				ms, rs := env.combineOpeningRow(subset, lam, k)
+				if ms == nil {
+					out.fails = append(out.fails, rowCheck{desc: fmt.Sprintf("missing opening shares at %v", k)})
+					failCount.Add(1)
+					continue
+				}
+				rowIdx := len(cb.openings)
+				rowFailed := false
+				for col := 0; col < env.m; col++ {
+					ct := rows[row].Commitment[col]
+					if env.noBatch {
+						if !env.ck.VerifyOpening(ct, ms[col], rs[col]) {
+							out.fails = append(out.fails, env.openingCheck(k, col, ct))
+							failCount.Add(1)
+							rowFailed = true
+						}
+						continue
+					}
+					out.pendCt = append(out.pendCt, ct)
+					out.pendM = append(out.pendM, ms[col])
+					out.pendR = append(out.pendR, rs[col])
+					out.pendRef = append(out.pendRef, pendRef{bi: bi, row: rowIdx, col: col})
+				}
+				if rowFailed {
+					continue
+				}
+				cb.openings = append(cb.openings, OpenedRow{
+					Serial: bbb.Serial, Part: uint8(part), Row: row, //nolint:gosec // part<2
+					Ms: ms, Rs: rs, HotIndex: -1,
+				})
+			}
+		}
+		out.cb = cb
+	})
+
+	// Stage B: batched opening verification in large chunks. A failing
+	// chunk falls back to per-element checks to locate the culprit rows.
+	if !env.noBatch {
+		var cts []elgamal.Ciphertext
+		var ms, rs []*big.Int
+		var refs []pendRef
+		for bi := range outs {
+			cts = append(cts, outs[bi].pendCt...)
+			ms = append(ms, outs[bi].pendM...)
+			rs = append(rs, outs[bi].pendR...)
+			refs = append(refs, outs[bi].pendRef...)
+		}
+		nChunks := (len(cts) + batchChunk - 1) / batchChunk
+		badBallot := make([]map[int]rowCheck, nChunks) // per-chunk: bi → first failing check
+		parallel.Run(env.workers, nChunks, func(ci int) {
+			lo := ci * batchChunk
+			hi := lo + batchChunk
+			if hi > len(cts) {
+				hi = len(cts)
+			}
+			ok, err := env.ck.VerifyOpeningsBatch(cts[lo:hi], ms[lo:hi], rs[lo:hi], nil)
+			if err != nil || ok {
+				return
+			}
+			n.metrics.BatchFallbacks.Add(1)
+			bad := make(map[int]rowCheck)
+			for i := lo; i < hi; i++ {
+				if !env.ck.VerifyOpening(cts[i], ms[i], rs[i]) {
+					ref := refs[i]
+					ob := &outs[ref.bi].cb.openings[ref.row]
+					k := combineKey{ob.Serial, ob.Part, ob.Row}
+					if _, dup := bad[ref.bi]; !dup {
+						bad[ref.bi] = env.openingCheck(k, ref.col, cts[i])
+					}
+					failCount.Add(1)
+				}
+			}
+			badBallot[ci] = bad
+		})
+		for _, bad := range badBallot {
+			for bi, chk := range bad {
+				outs[bi].fails = append(outs[bi].fails, chk)
+			}
+		}
+	}
+
+	// Stage C: hot-index computation for verified openings, then install
+	// fully-clean ballots into the cache (worker-owned; stages A/B only
+	// read it).
+	for bi := range outs {
+		out := &outs[bi]
+		if out.cb == nil || out.cached || out.skipped || len(out.fails) > 0 {
+			continue
+		}
+		for i := range out.cb.openings {
+			or := &out.cb.openings[i]
+			hot, err := (elgamal.VectorOpening{Ms: or.Ms, Rs: or.Rs}).HotIndex()
+			if err != nil {
+				out.fails = append(out.fails, rowCheck{
+					desc: fmt.Sprintf("row %d/%d/%d is not a unit vector: %v", or.Serial, or.Part, or.Row, err),
+				})
+				break
+			}
+			or.HotIndex = hot
+		}
+		if len(out.fails) > 0 {
+			continue
+		}
+		n.combineCache[ballots[bi].Serial] = out.cb
+	}
+
+	// Stage D: tally combination and verification against the incremental
+	// homomorphic aggregate.
+	var fails []rowCheck
+	for bi := range outs {
+		fails = append(fails, outs[bi].fails...)
+	}
+	counts, tms, trs, tallyFails := env.combineTally(subset, lam)
+	fails = append(fails, tallyFails...)
+	if len(fails) > 0 {
+		return nil, n.blameFailures(env, cands, fails)
+	}
+	for bi := range outs {
+		if outs[bi].skipped || outs[bi].cb == nil {
+			return nil, nil // aborted attempt without locatable failures
+		}
+	}
+
+	res := &Result{
+		Counts:   counts,
+		TallyMs:  tms,
+		TallyRs:  trs,
+		Trustees: shareIndices(subset),
+	}
+	for bi := range ballots {
+		cb := n.combineCache[ballots[bi].Serial]
+		if cb == nil {
+			return nil, nil
+		}
+		res.Openings = append(res.Openings, cb.openings...)
+		res.Proofs = append(res.Proofs, cb.proofs...)
+	}
+	return res, nil
+}
+
+// combineOpeningRow interpolates one audit row's opening under lam.
+// Returns nils if any share is missing (cannot happen for ingress-validated
+// posts; defensive).
+func (env *combineEnv) combineOpeningRow(subset []*TrusteePost, lam []*big.Int, k combineKey) (ms, rs []*big.Int) {
+	ms = make([]*big.Int, env.m)
+	rs = make([]*big.Int, env.m)
+	tmp := new(big.Int)
+	for col := 0; col < env.m; col++ {
+		mv := new(big.Int)
+		rv := new(big.Int)
+		for i, p := range subset {
+			o := env.shares[p.Trustee].open[k]
+			if o == nil {
+				return nil, nil
+			}
+			mv.Add(mv, tmp.Mul(lam[i], o.Ms[col]))
+			rv.Add(rv, tmp.Mul(lam[i], o.Rs[col]))
+		}
+		ms[col] = mv.Mod(mv, env.order)
+		rs[col] = rv.Mod(rv, env.order)
+	}
+	return ms, rs
+}
+
+// combineProofRow combines and verifies the ZK final moves for one row of
+// a used part.
+func (env *combineEnv) combineProofRow(subset []*TrusteePost, bbb *ea.BBBallot, part, row int) (ProvenRow, []rowCheck) {
+	rows := bbb.Parts[part]
+	k := combineKey{bbb.Serial, uint8(part), row} //nolint:gosec // part<2
+	var fails []rowCheck
+	bits := make([]zkp.BitFinal, env.m)
+	finals := make([]zkp.IndexedBitFinal, len(subset))
+	for col := 0; col < env.m; col++ {
+		for i, p := range subset {
+			pf := env.shares[p.Trustee].proof[k]
+			if pf == nil {
+				return ProvenRow{}, []rowCheck{{desc: fmt.Sprintf("missing proof share at %v", k)}}
+			}
+			finals[i] = zkp.IndexedBitFinal{Index: p.ShareIndex, Final: pf.Bits[col]}
+		}
+		fin, err := zkp.CombineBitFinals(finals, len(subset))
+		if err != nil {
+			return ProvenRow{}, []rowCheck{{desc: fmt.Sprintf("combining bit finals at %v: %v", k, err)}}
+		}
+		c := zkp.DeriveChallenge(env.master, bbb.Serial, uint8(part), row, col) //nolint:gosec // part<2
+		if !zkp.VerifyBit(env.ck, rows[row].Commitment[col], rows[row].BitCommits[col], fin, c) {
+			fails = append(fails, env.bitProofCheck(k, rows[row].Commitment[col], rows[row].BitCommits[col], col, c))
+			continue
+		}
+		bits[col] = fin
+	}
+	sumFinals := make([]zkp.IndexedSumFinal, len(subset))
+	for i, p := range subset {
+		sumFinals[i] = zkp.IndexedSumFinal{Index: p.ShareIndex, Final: env.shares[p.Trustee].proof[k].Sum}
+	}
+	sumFin, err := zkp.CombineSumFinals(sumFinals, len(subset))
+	if err != nil {
+		return ProvenRow{}, []rowCheck{{desc: fmt.Sprintf("combining sum finals at %v: %v", k, err)}}
+	}
+	cSum := zkp.DeriveChallenge(env.master, bbb.Serial, uint8(part), row, zkp.SumProofCol) //nolint:gosec // part<2
+	if !zkp.VerifySum(env.ck, rows[row].Commitment, 1, rows[row].SumCommit, sumFin, cSum) {
+		fails = append(fails, env.sumProofCheck(k, rows[row].Commitment, rows[row].SumCommit, cSum))
+	}
+	if len(fails) > 0 {
+		return ProvenRow{}, fails
+	}
+	return ProvenRow{
+		Serial: bbb.Serial, Part: uint8(part), Row: row, Bits: bits, Sum: sumFin, //nolint:gosec // part<2
+	}, nil
+}
+
+// combineTally interpolates and verifies the tally opening against the
+// incremental aggregate.
+func (env *combineEnv) combineTally(subset []*TrusteePost, lam []*big.Int) (counts []int64, tms, trs []*big.Int, fails []rowCheck) {
+	m := env.m
+	counts = make([]int64, m)
+	tms = make([]*big.Int, m)
+	trs = make([]*big.Int, m)
+	if env.agg == nil {
+		// No votes cast: all counts zero, nothing to open.
+		for j := 0; j < m; j++ {
+			tms[j] = new(big.Int)
+			trs[j] = new(big.Int)
+		}
+		return counts, tms, trs, nil
+	}
+	tmp := new(big.Int)
+	for j := 0; j < m; j++ {
+		mv := new(big.Int)
+		rv := new(big.Int)
+		for i, p := range subset {
+			mv.Add(mv, tmp.Mul(lam[i], p.TallyMs[j]))
+			rv.Add(rv, tmp.Mul(lam[i], p.TallyRs[j]))
+		}
+		mv.Mod(mv, env.order)
+		rv.Mod(rv, env.order)
+		if !env.ck.VerifyOpening(env.agg[j], mv, rv) {
+			fails = append(fails, env.tallyCheck(j))
+			continue
+		}
+		if !mv.IsInt64() {
+			fails = append(fails, rowCheck{desc: fmt.Sprintf("tally count overflows for option %d", j)})
+			continue
+		}
+		tms[j] = mv
+		trs[j] = rv
+		counts[j] = mv.Int64()
+	}
+	return counts, tms, trs, fails
+}
+
+// --- blame protocol -------------------------------------------------------
+
+// openingCheck builds a rowCheck re-verifying one opening column under an
+// arbitrary subset.
+func (env *combineEnv) openingCheck(k combineKey, col int, ct elgamal.Ciphertext) rowCheck {
+	return rowCheck{
+		desc: fmt.Sprintf("opening %d/%d/%d col %d", k.serial, k.part, k.row, col),
+		check: func(sub []*TrusteePost) bool {
+			lam, err := shamir.LagrangeCoefficients(shareIndices(sub))
+			if err != nil {
+				return false
+			}
+			mv := new(big.Int)
+			rv := new(big.Int)
+			tmp := new(big.Int)
+			for i, p := range sub {
+				o := env.shares[p.Trustee].open[k]
+				if o == nil {
+					return false
+				}
+				mv.Add(mv, tmp.Mul(lam[i], o.Ms[col]))
+				rv.Add(rv, tmp.Mul(lam[i], o.Rs[col]))
+			}
+			mv.Mod(mv, env.order)
+			rv.Mod(rv, env.order)
+			return env.ck.VerifyOpening(ct, mv, rv)
+		},
+	}
+}
+
+// bitProofCheck builds a rowCheck re-verifying one bit proof column.
+func (env *combineEnv) bitProofCheck(k combineKey, ct elgamal.Ciphertext, bc zkp.BitCommit, col int, c *big.Int) rowCheck {
+	return rowCheck{
+		desc: fmt.Sprintf("bit proof %d/%d/%d col %d", k.serial, k.part, k.row, col),
+		check: func(sub []*TrusteePost) bool {
+			finals := make([]zkp.IndexedBitFinal, len(sub))
+			for i, p := range sub {
+				pf := env.shares[p.Trustee].proof[k]
+				if pf == nil {
+					return false
+				}
+				finals[i] = zkp.IndexedBitFinal{Index: p.ShareIndex, Final: pf.Bits[col]}
+			}
+			fin, err := zkp.CombineBitFinals(finals, len(sub))
+			if err != nil {
+				return false
+			}
+			return zkp.VerifyBit(env.ck, ct, bc, fin, c)
+		},
+	}
+}
+
+// sumProofCheck builds a rowCheck re-verifying one sum proof.
+func (env *combineEnv) sumProofCheck(k combineKey, cts elgamal.VectorCiphertext, sc zkp.SumCommit, c *big.Int) rowCheck {
+	return rowCheck{
+		desc: fmt.Sprintf("sum proof %d/%d/%d", k.serial, k.part, k.row),
+		check: func(sub []*TrusteePost) bool {
+			finals := make([]zkp.IndexedSumFinal, len(sub))
+			for i, p := range sub {
+				pf := env.shares[p.Trustee].proof[k]
+				if pf == nil {
+					return false
+				}
+				finals[i] = zkp.IndexedSumFinal{Index: p.ShareIndex, Final: pf.Sum}
+			}
+			fin, err := zkp.CombineSumFinals(finals, len(sub))
+			if err != nil {
+				return false
+			}
+			return zkp.VerifySum(env.ck, cts, 1, sc, fin, c)
+		},
+	}
+}
+
+// tallyCheck builds a rowCheck re-verifying one tally column.
+func (env *combineEnv) tallyCheck(j int) rowCheck {
+	return rowCheck{
+		desc: fmt.Sprintf("tally option %d", j),
+		check: func(sub []*TrusteePost) bool {
+			lam, err := shamir.LagrangeCoefficients(shareIndices(sub))
+			if err != nil {
+				return false
+			}
+			mv := new(big.Int)
+			rv := new(big.Int)
+			tmp := new(big.Int)
+			for i, p := range sub {
+				mv.Add(mv, tmp.Mul(lam[i], p.TallyMs[j]))
+				rv.Add(rv, tmp.Mul(lam[i], p.TallyRs[j]))
+			}
+			mv.Mod(mv, env.order)
+			rv.Mod(rv, env.order)
+			return env.ck.VerifyOpening(env.agg[j], mv, rv)
+		},
+	}
+}
+
+// blameFailures identifies the specific bad trustees behind failed rows.
+// For each failure it first finds a passing subset for that single row
+// (spare swaps first, then full per-row enumeration — cheap, since it
+// re-verifies one row, not the whole board), then classifies every other
+// candidate against that known-good base: replace one member with the
+// candidate; if the row check fails, the candidate's share for the row is
+// bad. k garbage trustees therefore cost O(k·rows) extra work instead of
+// the seed's exponential full re-combinations.
+func (n *Node) blameFailures(env *combineEnv, cands []*TrusteePost, fails []rowCheck) []int {
+	ht := env.man.TrusteeThreshold
+	blamed := make(map[int]bool)
+	analyzed := 0
+	for _, f := range fails {
+		if f.check == nil {
+			continue // unrecoverable, not a trustee fault
+		}
+		if analyzed >= maxBlamedFailures {
+			break
+		}
+		analyzed++
+		good := findGoodSubset(cands, ht, f)
+		if good == nil {
+			continue // inconclusive: every subset fails; need more posts
+		}
+		inGood := make(map[int]bool, ht)
+		for _, p := range good {
+			inGood[p.Trustee] = true
+		}
+		for _, p := range cands {
+			if inGood[p.Trustee] || blamed[p.Trustee] {
+				continue
+			}
+			probe := append([]*TrusteePost(nil), good...)
+			probe[0] = p
+			if !f.check(probe) {
+				blamed[p.Trustee] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(blamed))
+	for t := range blamed {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// findGoodSubset searches for a size-ht subset passing the row check:
+// single spare-swaps against the primary subset first (the common case —
+// one bad member, ht+1 posts available), then full enumeration over the
+// candidates. Returns nil if nothing passes.
+func findGoodSubset(cands []*TrusteePost, ht int, f rowCheck) []*TrusteePost {
+	subset := cands[:ht]
+	spares := cands[ht:]
+	probe := make([]*TrusteePost, ht)
+	for _, sp := range spares {
+		for i := range subset {
+			copy(probe, subset)
+			probe[i] = sp
+			if f.check(probe) {
+				return append([]*TrusteePost(nil), probe...)
+			}
+		}
+	}
+	// Per-row subset enumeration: C(len(cands), ht) checks of ONE row.
+	var rec func(start, depth int) []*TrusteePost
+	rec = func(start, depth int) []*TrusteePost {
+		if depth == ht {
+			if f.check(probe) {
+				return append([]*TrusteePost(nil), probe...)
+			}
+			return nil
+		}
+		for i := start; i <= len(cands)-(ht-depth); i++ {
+			probe[depth] = cands[i]
+			if got := rec(i+1, depth+1); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,45 @@
+package bb
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects a BB node's operational counters for the publish phase,
+// mirroring vc.Metrics. Everything is updated atomically; read a coherent
+// copy with Node.Metrics().
+type Metrics struct {
+	PostsAccepted   atomic.Int64 // trustee posts stored after signature + shape checks
+	PostsRejected   atomic.Int64 // trustee posts refused at ingress
+	BadPostBlames   atomic.Int64 // posts identified as bad by the blame protocol
+	CombineAttempts atomic.Int64 // combine passes over a candidate subset
+	CombineNanos    atomic.Int64 // cumulative wall time spent in combine attempts
+	BatchFallbacks  atomic.Int64 // batch-verify chunks re-checked per element
+}
+
+// Snapshot is a point-in-time copy of the metrics.
+type Snapshot struct {
+	PostsAccepted   int64
+	PostsRejected   int64
+	BadPostBlames   int64
+	CombineAttempts int64
+	CombineTime     time.Duration
+	BatchFallbacks  int64
+	ResultPublished bool
+}
+
+// Metrics returns a snapshot of the node's counters.
+func (n *Node) Metrics() Snapshot {
+	s := Snapshot{
+		PostsAccepted:   n.metrics.PostsAccepted.Load(),
+		PostsRejected:   n.metrics.PostsRejected.Load(),
+		BadPostBlames:   n.metrics.BadPostBlames.Load(),
+		CombineAttempts: n.metrics.CombineAttempts.Load(),
+		CombineTime:     time.Duration(n.metrics.CombineNanos.Load()),
+		BatchFallbacks:  n.metrics.BatchFallbacks.Load(),
+	}
+	n.mu.Lock()
+	s.ResultPublished = n.result != nil
+	n.mu.Unlock()
+	return s
+}

@@ -13,12 +13,14 @@ package bb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 	"sort"
 	"sync"
 
+	"ddemos/internal/crypto/elgamal"
 	"ddemos/internal/crypto/shamir"
 	"ddemos/internal/crypto/votecode"
 	"ddemos/internal/ea"
@@ -56,21 +58,42 @@ type CastData struct {
 type Node struct {
 	init *ea.BBInit
 
-	mu         sync.Mutex
-	setSubs    map[int][]vc.VotedBallot // per VC index, signature-verified
-	voteSet    []vc.VotedBallot
-	haveSet    bool
-	mskShares  map[uint32]*big.Int
-	msk        []byte
-	cast       *CastData
-	posts      map[int]*TrusteePost
-	badPosts   map[int]bool // posts that failed a combination attempt
-	result     *Result
-	resultOnce bool
+	mu          sync.Mutex
+	setSubs     map[int][]vc.VotedBallot // per VC index, signature-verified
+	voteSet     []vc.VotedBallot
+	haveSet     bool
+	mskShares   map[uint32]*big.Int
+	msk         []byte
+	cast        *CastData
+	usedParts   map[uint64]uint8 // serial → validly-used part (§III-H)
+	tallyAgg    elgamal.VectorCiphertext
+	tallyAggErr error
+	posts       map[int]*TrusteePost
+	shareIdx    map[int]*postShares // per-trustee share index, built at ingress
+	badPosts    map[int]bool        // posts identified as bad by the blame protocol
+	result      *Result
+	resultCh    chan struct{} // closed when result is installed
+
+	combineRunning bool
+	combinePending bool
+	// combineCache holds per-ballot verified combinations; owned by the
+	// single combine worker goroutine (handoff through combineRunning).
+	combineCache map[uint64]*combinedBallot
+
+	metrics Metrics
 
 	// Lying simulates a Byzantine BB node: reads return corrupted data.
 	// Writes are processed normally so the rest of the pipeline proceeds.
 	Lying bool
+	// CombineWorkers bounds the parallelism of combine attempts
+	// (0 = GOMAXPROCS). Set before trustee posts arrive.
+	CombineWorkers int
+	// DisableBatchVerify forces per-element opening verification instead
+	// of the batched random-linear-combination check.
+	DisableBatchVerify bool
+	// CombineGate, when set, is called (off-lock) at the start of every
+	// combine attempt. Test hook for the off-lock property.
+	CombineGate func()
 }
 
 // NewNode boots a BB replica from its initialization data (published
@@ -80,11 +103,14 @@ func NewNode(init *ea.BBInit) (*Node, error) {
 		return nil, errors.New("bb: missing init data")
 	}
 	return &Node{
-		init:      init,
-		setSubs:   make(map[int][]vc.VotedBallot),
-		mskShares: make(map[uint32]*big.Int),
-		posts:     make(map[int]*TrusteePost),
-		badPosts:  make(map[int]bool),
+		init:         init,
+		setSubs:      make(map[int][]vc.VotedBallot),
+		mskShares:    make(map[uint32]*big.Int),
+		posts:        make(map[int]*TrusteePost),
+		shareIdx:     make(map[int]*postShares),
+		badPosts:     make(map[int]bool),
+		resultCh:     make(chan struct{}),
+		combineCache: make(map[uint64]*combinedBallot),
 	}, nil
 }
 
@@ -245,7 +271,70 @@ func (n *Node) maybePublishCastLocked() {
 		cast.Coins = append(cast.Coins, l.part)
 	}
 	sort.Slice(cast.Marks, func(i, j int) bool { return cast.Marks[i].Serial < cast.Marks[j].Serial })
+	// Maintain the homomorphic tally aggregate incrementally: it is fixed
+	// the moment the cast marks are published, so combine attempts (and
+	// retries under Byzantine posts) never recompute the ciphertext sum.
+	n.usedParts = UsedParts(man.MaxSelections, cast.Marks)
+	n.tallyAgg, n.tallyAggErr = castTallyAggregate(n.init.Ballots, cast.Marks, n.usedParts)
 	n.cast = cast
+}
+
+// UsedParts maps each validly-voted serial to its used part, applying the
+// §III-H vote-set validation: a ballot with marks on both parts, or with
+// more than maxSelections marks, is invalid and treated as unvoted (both
+// parts are opened for audit, no tally contribution). Trustees and BB
+// nodes share this helper so they cannot diverge on which rows enter the
+// tally.
+func UsedParts(maxSelections int, marks []CastMark) map[uint64]uint8 {
+	per := make(map[uint64][]CastMark, len(marks))
+	for _, mk := range marks {
+		per[mk.Serial] = append(per[mk.Serial], mk)
+	}
+	out := make(map[uint64]uint8, len(per))
+	for serial, ms := range per {
+		part := ms[0].Part
+		valid := len(ms) <= maxSelections
+		for _, mk := range ms {
+			if mk.Part != part {
+				valid = false // both parts used: discard ballot
+			}
+		}
+		if valid {
+			out[serial] = part
+		}
+	}
+	return out
+}
+
+// castTallyAggregate folds the commitment vectors of every validly-cast
+// row into the homomorphic tally sum. An aggregation failure (malformed
+// init data with inconsistent vector lengths) is reported, never silently
+// truncated.
+func castTallyAggregate(ballots []ea.BBBallot, marks []CastMark, used map[uint64]uint8) (elgamal.VectorCiphertext, error) {
+	var agg elgamal.VectorCiphertext
+	for _, mk := range marks {
+		part, ok := used[mk.Serial]
+		if !ok || part != mk.Part {
+			continue
+		}
+		if mk.Serial == 0 || mk.Serial > uint64(len(ballots)) || mk.Part > 1 {
+			continue
+		}
+		rows := ballots[mk.Serial-1].Parts[mk.Part]
+		if mk.Row < 0 || mk.Row >= len(rows) {
+			continue
+		}
+		ct := rows[mk.Row].Commitment
+		if agg == nil {
+			agg = append(elgamal.VectorCiphertext(nil), ct...)
+			continue
+		}
+		var err error
+		if agg, err = agg.Add(ct); err != nil {
+			return nil, fmt.Errorf("bb: aggregating cast commitments at serial %d: %w", mk.Serial, err)
+		}
+	}
+	return agg, nil
 }
 
 // VoteSet returns the agreed vote set once published.
@@ -301,12 +390,35 @@ func (n *Node) Result() (*Result, error) {
 	return n.result, nil
 }
 
-// ballotVoted reports whether (and where) a ballot was voted, from the
-// published cast marks. Used by the tally combination.
-func (c *CastData) marksBySerial() map[uint64][]CastMark {
-	out := make(map[uint64][]CastMark, len(c.Marks))
-	for _, m := range c.Marks {
-		out[m.Serial] = append(out[m.Serial], m)
+// WaitResult blocks until the node publishes its Result or ctx is done.
+// Combination runs in a background worker, so SubmitTrusteePost returning
+// does not mean the result exists yet — this is the synchronization point.
+func (n *Node) WaitResult(ctx context.Context) (*Result, error) {
+	n.mu.Lock()
+	ch := n.resultCh
+	n.mu.Unlock()
+	select {
+	case <-ch:
+		return n.Result()
+	case <-ctx.Done():
+		select {
+		case <-ch: // result raced with cancellation; prefer it
+			return n.Result()
+		default:
+		}
+		return nil, ctx.Err()
 	}
+}
+
+// BlamedTrustees returns the (sorted) trustee indices whose posts the
+// blame protocol identified as bad on this node.
+func (n *Node) BlamedTrustees() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]int, 0, len(n.badPosts))
+	for t := range n.badPosts {
+		out = append(out, t)
+	}
+	sort.Ints(out)
 	return out
 }

@@ -4,13 +4,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"math/big"
-	"runtime"
-	"sort"
-	"sync"
 
-	"ddemos/internal/crypto/elgamal"
 	"ddemos/internal/crypto/group"
-	"ddemos/internal/crypto/shamir"
 	"ddemos/internal/crypto/zkp"
 	"ddemos/internal/sig"
 )
@@ -126,349 +121,146 @@ type Result struct {
 	Trustees []uint32
 }
 
-// SubmitTrusteePost verifies and stores a trustee's post; when ht usable
-// posts are available the node combines them, verifies everything, and
-// publishes the Result (§III-G "once enough trustees have posted valid
-// data, the BB node combines them and publishes the final election
-// result").
+// SubmitTrusteePost verifies and stores a trustee's post. Signature and
+// structural validation run outside n.mu, and the expensive combination
+// runs in a background worker (see combine.go), so readers and later
+// submissions never stall behind EC math: the lock is held only to store
+// the post and kick the worker.
 func (n *Node) SubmitTrusteePost(p *TrusteePost) error {
 	man := &n.init.Manifest
 	if p == nil || p.Trustee < 0 || p.Trustee >= man.NumTrustees {
+		n.metrics.PostsRejected.Add(1)
 		return fmt.Errorf("%w: bad trustee index", ErrBadSubmission)
 	}
 	if p.ShareIndex != uint32(p.Trustee)+1 { //nolint:gosec // small
+		n.metrics.PostsRejected.Add(1)
 		return fmt.Errorf("%w: share index mismatch", ErrBadSubmission)
+	}
+	// Scalar-shape validation precedes hashing: a post with nil scalars
+	// (e.g. hostile gob input) must be rejected, not panic HashPost.
+	if err := validatePostScalars(p, len(man.Options)); err != nil {
+		n.metrics.PostsRejected.Add(1)
+		return err
 	}
 	hash := HashPost(man.ElectionID, p)
 	if !sig.Verify(man.TrusteePublics[p.Trustee], p.Sig, trusteePostDomain, hash[:]) {
+		n.metrics.PostsRejected.Add(1)
 		return fmt.Errorf("%w: bad trustee signature", ErrBadSubmission)
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.cast == nil {
+	used := n.usedParts
+	ready := n.cast != nil
+	n.mu.Unlock()
+	if !ready {
 		return fmt.Errorf("%w: cast data not published yet", ErrNotReady)
 	}
+	// Completeness validation against the published cast data (§III-H): a
+	// signed post missing required shares is rejected at ingress, so the
+	// combine worker can assume every stored post is shape-complete.
+	idx, err := n.indexPost(p, used)
+	if err != nil {
+		n.metrics.PostsRejected.Add(1)
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, dup := n.posts[p.Trustee]; dup {
 		return nil
 	}
 	n.posts[p.Trustee] = p
-	n.maybeCombineLocked()
+	n.shareIdx[p.Trustee] = idx
+	n.metrics.PostsAccepted.Add(1)
+	n.kickCombineLocked()
 	return nil
 }
 
-// maybeCombineLocked attempts to combine subsets of ht posts until one
-// verifies fully. Byzantine trustees can post garbage under a valid
-// signature; subset search rejects them (their shares make verification
-// fail) as long as ht honest posts exist.
-func (n *Node) maybeCombineLocked() {
-	if n.result != nil {
-		return
-	}
-	man := &n.init.Manifest
-	ht := man.TrusteeThreshold
-	var candidates []*TrusteePost
-	for _, p := range n.posts {
-		if !n.badPosts[p.Trustee] {
-			candidates = append(candidates, p)
-		}
-	}
-	if len(candidates) < ht {
-		// Failed posts may still be needed if honest ones are scarce; retry
-		// everything when the pool is small.
-		candidates = candidates[:0]
-		for _, p := range n.posts {
-			candidates = append(candidates, p)
-		}
-		if len(candidates) < ht {
-			return
-		}
-	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Trustee < candidates[j].Trustee })
-	subset := make([]*TrusteePost, ht)
-	n.combineSubsets(candidates, subset, 0, 0)
+// combineKey addresses one row of one ballot part.
+type combineKey struct {
+	serial uint64
+	part   uint8
+	row    int
 }
 
-// combineSubsets enumerates size-ht subsets recursively; first success wins.
-func (n *Node) combineSubsets(pool, subset []*TrusteePost, poolIdx, depth int) bool {
-	if n.result != nil {
-		return true
-	}
-	if depth == len(subset) {
-		res, err := n.tryCombine(subset)
-		if err == nil {
-			n.result = res
-			return true
-		}
-		for _, p := range subset {
-			// Mark all members as suspect; honest-only subsets clear them.
-			n.badPosts[p.Trustee] = true
-		}
-		return false
-	}
-	for i := poolIdx; i <= len(pool)-(len(subset)-depth); i++ {
-		subset[depth] = pool[i]
-		if n.combineSubsets(pool, subset, i+1, depth+1) {
-			return true
-		}
-	}
-	return false
+// postShares indexes one post's shares by row, precomputed at ingress so
+// combine attempts never scan the post slices.
+type postShares struct {
+	open  map[combineKey]*OpeningShare
+	proof map[combineKey]*ProofFinalShare
 }
 
-// tryCombine reconstructs openings, proofs and the tally from one subset of
-// posts, verifying every value against the public commitments.
-func (n *Node) tryCombine(posts []*TrusteePost) (*Result, error) {
-	man := &n.init.Manifest
-	ck := man.CommitmentKey()
-	ht := man.TrusteeThreshold
-	m := len(man.Options)
-	cast := n.cast
-	master := zkp.MasterChallenge(man.ElectionID, cast.Coins)
-	marks := cast.marksBySerial()
-
-	indices := make([]uint32, ht)
-	for i, p := range posts {
-		indices[i] = p.ShareIndex
-	}
-	lam, err := shamir.LagrangeCoefficients(indices)
-	if err != nil {
-		return nil, err
-	}
-	combineScalars := func(get func(*TrusteePost) *big.Int) *big.Int {
-		acc := new(big.Int)
-		for i, p := range posts {
-			v := get(p)
-			if v == nil {
-				return nil
-			}
-			acc = group.AddScalar(acc, group.MulScalar(lam[i], v))
-		}
-		return acc
-	}
-
-	// Index each post's shares by (serial, part, row).
-	type key struct {
-		serial uint64
-		part   uint8
-		row    int
-	}
-	openIdx := make([]map[key]*OpeningShare, ht)
-	proofIdx := make([]map[key]*ProofFinalShare, ht)
-	for i, p := range posts {
-		openIdx[i] = make(map[key]*OpeningShare, len(p.Openings))
-		for j := range p.Openings {
-			o := &p.Openings[j]
-			openIdx[i][key{o.Serial, o.Part, o.Row}] = o
-		}
-		proofIdx[i] = make(map[key]*ProofFinalShare, len(p.Proofs))
-		for j := range p.Proofs {
-			pf := &p.Proofs[j]
-			proofIdx[i][key{pf.Serial, pf.Part, pf.Row}] = pf
-		}
-	}
-
-	res := &Result{Trustees: indices}
-	var tallySum elgamal.VectorCiphertext
-
-	// Per-ballot combination is independent; parallelize across CPUs (the
-	// publish phase is EC-multiplication bound).
-	type ballotOut struct {
-		openings []OpenedRow
-		proofs   []ProvenRow
-		tally    elgamal.VectorCiphertext
-		err      error
-	}
-	outs := make([]ballotOut, len(n.init.Ballots))
-	combineBallot := func(bi int) ballotOut {
-		out := ballotOut{}
-		bbb := &n.init.Ballots[bi]
-		ballotMarks := marks[bbb.Serial]
-		usedPart := -1
-		if len(ballotMarks) > 0 {
-			usedPart = int(ballotMarks[0].Part)
-		}
-		for part := 0; part < 2; part++ {
-			rows := bbb.Parts[part]
-			if part == usedPart {
-				// Used part: complete the ZK proofs; add cast rows to tally.
-				for row := range rows {
-					k := key{bbb.Serial, uint8(part), row} //nolint:gosec // part<2
-					bits := make([]zkp.BitFinal, m)
-					for col := 0; col < m; col++ {
-						finals := make([]zkp.IndexedBitFinal, ht)
-						for i := range posts {
-							pf := proofIdx[i][k]
-							if pf == nil || len(pf.Bits) != m {
-								out.err = fmt.Errorf("bb: trustee %d missing proof share %v", posts[i].Trustee, k)
-								return out
-							}
-							finals[i] = zkp.IndexedBitFinal{Index: posts[i].ShareIndex, Final: pf.Bits[col]}
-						}
-						fin, err := zkp.CombineBitFinals(finals, ht)
-						if err != nil {
-							out.err = err
-							return out
-						}
-						c := zkp.DeriveChallenge(master, bbb.Serial, uint8(part), row, col) //nolint:gosec // part<2
-						if !zkp.VerifyBit(ck, rows[row].Commitment[col], rows[row].BitCommits[col], fin, c) {
-							out.err = fmt.Errorf("bb: bit proof failed at %v col %d", k, col)
-							return out
-						}
-						bits[col] = fin
-					}
-					sumFinals := make([]zkp.IndexedSumFinal, ht)
-					for i := range posts {
-						pf := proofIdx[i][k]
-						sumFinals[i] = zkp.IndexedSumFinal{Index: posts[i].ShareIndex, Final: pf.Sum}
-					}
-					sumFin, err := zkp.CombineSumFinals(sumFinals, ht)
-					if err != nil {
-						out.err = err
-						return out
-					}
-					c := zkp.DeriveChallenge(master, bbb.Serial, uint8(part), row, zkp.SumProofCol) //nolint:gosec // part<2
-					if !zkp.VerifySum(ck, rows[row].Commitment, 1, rows[row].SumCommit, sumFin, c) {
-						out.err = fmt.Errorf("bb: sum proof failed at %v", k)
-						return out
-					}
-					out.proofs = append(out.proofs, ProvenRow{
-						Serial: bbb.Serial, Part: uint8(part), Row: row, Bits: bits, Sum: sumFin, //nolint:gosec // part<2
-					})
-				}
-				for _, mark := range ballotMarks {
-					ct := rows[mark.Row].Commitment
-					if out.tally == nil {
-						out.tally = append(elgamal.VectorCiphertext(nil), ct...)
-					} else if out.tally, out.err = out.tally.Add(ct); out.err != nil {
-						out.err = err
-						return out
-					}
-				}
-				continue
-			}
-			// Audit part (unused, or any part of an unvoted ballot): open.
-			for row := range rows {
-				k := key{bbb.Serial, uint8(part), row} //nolint:gosec // part<2
-				ms := make([]*big.Int, m)
-				rs := make([]*big.Int, m)
-				for col := 0; col < m; col++ {
-					col := col
-					mv := combineScalars(func(p *TrusteePost) *big.Int {
-						o := openIdx[postIndex(posts, p)][k]
-						if o == nil || len(o.Ms) != m {
-							return nil
-						}
-						return o.Ms[col]
-					})
-					rv := combineScalars(func(p *TrusteePost) *big.Int {
-						o := openIdx[postIndex(posts, p)][k]
-						if o == nil || len(o.Rs) != m {
-							return nil
-						}
-						return o.Rs[col]
-					})
-					if mv == nil || rv == nil {
-						out.err = fmt.Errorf("bb: missing opening shares at %v", k)
-						return out
-					}
-					if !ck.VerifyOpening(rows[row].Commitment[col], mv, rv) {
-						out.err = fmt.Errorf("bb: opening failed at %v col %d", k, col)
-						return out
-					}
-					ms[col], rs[col] = mv, rv
-				}
-				opening := elgamal.VectorOpening{Ms: ms, Rs: rs}
-				hot, err := opening.HotIndex()
-				if err != nil {
-					out.err = fmt.Errorf("bb: row %v is not a unit vector: %w", k, err)
-					return out
-				}
-				out.openings = append(out.openings, OpenedRow{
-					Serial: bbb.Serial, Part: uint8(part), Row: row, //nolint:gosec // part<2
-					Ms: ms, Rs: rs, HotIndex: hot,
-				})
-			}
-		}
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	var wgB sync.WaitGroup
-	idxCh := make(chan int, workers*2)
-	for w := 0; w < workers; w++ {
-		wgB.Add(1)
-		go func() {
-			defer wgB.Done()
-			for bi := range idxCh {
-				outs[bi] = combineBallot(bi)
-			}
-		}()
-	}
-	for bi := range n.init.Ballots {
-		idxCh <- bi
-	}
-	close(idxCh)
-	wgB.Wait()
-	for bi := range outs {
-		if outs[bi].err != nil {
-			return nil, outs[bi].err
-		}
-		res.Openings = append(res.Openings, outs[bi].openings...)
-		res.Proofs = append(res.Proofs, outs[bi].proofs...)
-		if outs[bi].tally != nil {
-			if tallySum == nil {
-				tallySum = outs[bi].tally
-			} else if tallySum, err = tallySum.Add(outs[bi].tally); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Tally: combine T_ℓ shares and verify against the homomorphic sum.
-	res.Counts = make([]int64, m)
-	res.TallyMs = make([]*big.Int, m)
-	res.TallyRs = make([]*big.Int, m)
-	if tallySum == nil {
-		// No votes cast: all counts zero, nothing to open.
-		for j := 0; j < m; j++ {
-			res.TallyMs[j] = new(big.Int)
-			res.TallyRs[j] = new(big.Int)
-		}
-		return res, nil
+// validatePostScalars rejects posts with nil or wrongly-sized scalar
+// slices (the only shapes that could panic hashing or combination).
+func validatePostScalars(p *TrusteePost, m int) error {
+	if len(p.TallyMs) != m || len(p.TallyRs) != m {
+		return fmt.Errorf("%w: tally share arity", ErrBadSubmission)
 	}
 	for j := 0; j < m; j++ {
-		j := j
-		mv := combineScalars(func(p *TrusteePost) *big.Int {
-			if len(p.TallyMs) != m {
-				return nil
-			}
-			return p.TallyMs[j]
-		})
-		rv := combineScalars(func(p *TrusteePost) *big.Int {
-			if len(p.TallyRs) != m {
-				return nil
-			}
-			return p.TallyRs[j]
-		})
-		if mv == nil || rv == nil {
-			return nil, fmt.Errorf("bb: missing tally shares")
+		if p.TallyMs[j] == nil || p.TallyRs[j] == nil {
+			return fmt.Errorf("%w: nil tally share", ErrBadSubmission)
 		}
-		if !ck.VerifyOpening(tallySum[j], mv, rv) {
-			return nil, fmt.Errorf("bb: tally opening failed for option %d", j)
-		}
-		if !mv.IsInt64() {
-			return nil, fmt.Errorf("bb: tally count overflows for option %d", j)
-		}
-		res.TallyMs[j] = mv
-		res.TallyRs[j] = rv
-		res.Counts[j] = mv.Int64()
 	}
-	return res, nil
+	for i := range p.Openings {
+		o := &p.Openings[i]
+		if len(o.Ms) != m || len(o.Rs) != m {
+			return fmt.Errorf("%w: opening share arity at serial %d", ErrBadSubmission, o.Serial)
+		}
+		for j := 0; j < m; j++ {
+			if o.Ms[j] == nil || o.Rs[j] == nil {
+				return fmt.Errorf("%w: nil opening share at serial %d", ErrBadSubmission, o.Serial)
+			}
+		}
+	}
+	for i := range p.Proofs {
+		pf := &p.Proofs[i]
+		if len(pf.Bits) != m {
+			return fmt.Errorf("%w: proof share arity at serial %d", ErrBadSubmission, pf.Serial)
+		}
+		for j := range pf.Bits {
+			b := &pf.Bits[j]
+			if b.C0 == nil || b.C1 == nil || b.Z0 == nil || b.Z1 == nil {
+				return fmt.Errorf("%w: nil bit final at serial %d", ErrBadSubmission, pf.Serial)
+			}
+		}
+		if pf.Sum.Z == nil {
+			return fmt.Errorf("%w: nil sum final at serial %d", ErrBadSubmission, pf.Serial)
+		}
+	}
+	return nil
 }
 
-func postIndex(posts []*TrusteePost, p *TrusteePost) int {
-	for i := range posts {
-		if posts[i] == p {
-			return i
+// indexPost builds the row → share maps for a post and checks it carries
+// exactly what the published cast data requires: a proof share for every
+// row of every used part, an opening share for every audit row.
+func (n *Node) indexPost(p *TrusteePost, used map[uint64]uint8) (*postShares, error) {
+	ps := &postShares{
+		open:  make(map[combineKey]*OpeningShare, len(p.Openings)),
+		proof: make(map[combineKey]*ProofFinalShare, len(p.Proofs)),
+	}
+	for i := range p.Openings {
+		o := &p.Openings[i]
+		ps.open[combineKey{o.Serial, o.Part, o.Row}] = o
+	}
+	for i := range p.Proofs {
+		pf := &p.Proofs[i]
+		ps.proof[combineKey{pf.Serial, pf.Part, pf.Row}] = pf
+	}
+	for bi := range n.init.Ballots {
+		bbb := &n.init.Ballots[bi]
+		usedPart, voted := used[bbb.Serial]
+		for part := 0; part < 2; part++ {
+			for row := range bbb.Parts[part] {
+				k := combineKey{bbb.Serial, uint8(part), row} //nolint:gosec // part<2
+				if voted && uint8(part) == usedPart {         //nolint:gosec // part<2
+					if ps.proof[k] == nil {
+						return nil, fmt.Errorf("%w: missing proof share at serial %d part %d row %d",
+							ErrBadSubmission, bbb.Serial, part, row)
+					}
+				} else if ps.open[k] == nil {
+					return nil, fmt.Errorf("%w: missing opening share at serial %d part %d row %d",
+						ErrBadSubmission, bbb.Serial, part, row)
+				}
+			}
 		}
 	}
-	return -1
+	return ps, nil
 }

@@ -1,0 +1,102 @@
+package bb
+
+import (
+	"math/big"
+	"testing"
+
+	"ddemos/internal/crypto/elgamal"
+	"ddemos/internal/ea"
+)
+
+func aggBallot(serial uint64, ck elgamal.CommitmentKey, rows ...[]int64) ea.BBBallot {
+	b := ea.BBBallot{Serial: serial}
+	for part := 0; part < 2; part++ {
+		for _, row := range rows {
+			var ct elgamal.VectorCiphertext
+			for col, m := range row {
+				ct = append(ct, ck.EncryptWith(big.NewInt(m), big.NewInt(int64(serial)*100+int64(col))))
+			}
+			b.Parts[part] = append(b.Parts[part], ea.BBRow{Commitment: ct})
+		}
+	}
+	return b
+}
+
+func TestCastTallyAggregateMatchesNaiveSum(t *testing.T) {
+	ck := elgamal.DeriveCommitmentKey("agg-test")
+	ballots := []ea.BBBallot{
+		aggBallot(1, ck, []int64{1, 0}, []int64{0, 1}),
+		aggBallot(2, ck, []int64{0, 1}, []int64{1, 0}),
+		aggBallot(3, ck, []int64{1, 0}, []int64{1, 0}),
+	}
+	marks := []CastMark{
+		{Serial: 1, Part: 0, Row: 0},
+		{Serial: 2, Part: 1, Row: 1},
+		{Serial: 3, Part: 0, Row: 1}, // invalid below: not in used map
+	}
+	used := map[uint64]uint8{1: 0, 2: 1}
+
+	agg, err := castTallyAggregate(ballots, marks, used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ballots[0].Parts[0][0].Commitment
+	want, err = want.Add(ballots[1].Parts[1][1].Commitment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != len(want) {
+		t.Fatalf("aggregate arity %d != %d", len(agg), len(want))
+	}
+	for j := range agg {
+		if !agg[j].Equal(want[j]) {
+			t.Fatalf("aggregate col %d differs from naive sum", j)
+		}
+	}
+}
+
+// Regression test: an aggregation failure partway through the fold must be
+// reported. The seed's tally loop captured the error into a variable that a
+// later successful iteration overwrote with nil, silently publishing a
+// truncated sum.
+func TestCastTallyAggregatePropagatesAddError(t *testing.T) {
+	ck := elgamal.DeriveCommitmentKey("agg-err")
+	ballots := []ea.BBBallot{
+		aggBallot(1, ck, []int64{1, 0}),
+		aggBallot(2, ck, []int64{1}), // mismatched vector arity: Add must fail
+		aggBallot(3, ck, []int64{0, 1}),
+	}
+	marks := []CastMark{
+		{Serial: 1, Part: 0, Row: 0},
+		{Serial: 2, Part: 0, Row: 0},
+		{Serial: 3, Part: 0, Row: 0}, // would "succeed" and mask the error
+	}
+	used := map[uint64]uint8{1: 0, 2: 0, 3: 0}
+
+	if _, err := castTallyAggregate(ballots, marks, used); err == nil {
+		t.Fatal("arity mismatch in the fold was swallowed")
+	}
+}
+
+func TestUsedPartsValidation(t *testing.T) {
+	marks := []CastMark{
+		{Serial: 1, Part: 0, Row: 0}, // valid single selection
+		{Serial: 2, Part: 0, Row: 0}, // both parts → invalid
+		{Serial: 2, Part: 1, Row: 1},
+		{Serial: 3, Part: 1, Row: 0}, // two marks, maxSelections=1 → invalid
+		{Serial: 3, Part: 1, Row: 1},
+	}
+	used := UsedParts(1, marks)
+	if got, ok := used[1]; !ok || got != 0 {
+		t.Fatalf("serial 1: used=%v ok=%v", got, ok)
+	}
+	if _, ok := used[2]; ok {
+		t.Fatal("serial 2 used both parts but was treated as voted")
+	}
+	if _, ok := used[3]; ok {
+		t.Fatal("serial 3 exceeded maxSelections but was treated as voted")
+	}
+	if used2 := UsedParts(2, marks[3:]); used2[3] != 1 {
+		t.Fatal("serial 3 with maxSelections=2 should be valid on part 1")
+	}
+}

@@ -55,6 +55,35 @@ func TestSmokePoolElection(t *testing.T) {
 	}
 }
 
+func TestSmokeTallyAblation(t *testing.T) {
+	// A fast pass over the publish-phase pipeline sweep: correctness of the
+	// harness and result agreement across columns, not the speedup bound
+	// (CI's bench job gates that via the baseline at a pinned pool size).
+	cfg := TallyAblationConfig{Ballots: 40, Votes: 20, Seed: "smoke"}
+	points, err := RunTallyAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		t.Logf("config=%s combine=%.3fs audit=%.3fs speedup=%.2f attempts=%d",
+			p.Config, p.CombineSec, p.AuditSec, p.Speedup, p.Attempts)
+		if p.CombineSec <= 0 {
+			t.Fatalf("%s measured no combine time", p.Config)
+		}
+	}
+	sweep, err := RunByzantineTallySweep(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sweep {
+		t.Logf("garbage=%d combine=%.3fs attempts=%d blames=%d",
+			p.Garbage, p.CombineSec, p.Attempts, p.Blames)
+	}
+	if sweep[1].Blames == 0 {
+		t.Fatal("garbage trustee was never blamed")
+	}
+}
+
 func TestSmokeAblation(t *testing.T) {
 	res, err := RunAblation(100, 10, 4, false)
 	if err != nil {

@@ -1,0 +1,367 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ddemos/internal/auditor"
+	"ddemos/internal/bb"
+	"ddemos/internal/ea"
+	"ddemos/internal/trustee"
+	"ddemos/internal/vc"
+)
+
+// TallyPoint is one column of the publish-phase tally ablation: the same
+// trustee posts combined (and the same board audited) under one pipeline
+// configuration.
+type TallyPoint struct {
+	Config     string        // sequential | parallel | parallel+batched
+	CombineSec float64       // wall time of the successful combine attempt
+	AuditSec   float64       // wall time of a full auditor pass
+	Speedup    float64       // sequential combine time / this combine time
+	Attempts   int64         // combine attempts the node needed
+	Fallbacks  int64         // batch chunks that fell back to per-element checks
+	Result     *bb.Result    // published result (columns must agree)
+	Audit      time.Duration // raw audit duration (AuditSec rounded source)
+}
+
+// TallyAblationConfig tunes RunTallyAblation.
+type TallyAblationConfig struct {
+	// Ballots is the pool size (default 10000). Every unvoted ballot still
+	// costs two audited parts, so combine work scales with the pool, not
+	// the turnout — exactly the regime the batch verifier targets.
+	Ballots int
+	// Votes is the turnout (default 500).
+	Votes int
+	// Trustees is Nt (default 3; ht defaults to ⌊Nt/2⌋+1).
+	Trustees int
+	// Workers bounds the parallel columns' worker pools (0 = GOMAXPROCS).
+	Workers int
+	// Seed makes the election deterministic (default "tally-ablation").
+	Seed string
+}
+
+func (c TallyAblationConfig) withDefaults() TallyAblationConfig {
+	if c.Ballots <= 0 {
+		c.Ballots = 10_000
+	}
+	if c.Votes <= 0 {
+		c.Votes = 500
+	}
+	if c.Votes > c.Ballots {
+		c.Votes = c.Ballots
+	}
+	if c.Trustees <= 0 {
+		c.Trustees = 3
+	}
+	if c.Seed == "" {
+		c.Seed = "tally-ablation"
+	}
+	return c
+}
+
+// tallyFixture is the shared election state every ablation column replays:
+// the agreed vote set with enough VC signatures, the master-key shares, and
+// the honest trustee posts, all computed once.
+type tallyFixture struct {
+	data  *ea.ElectionData
+	set   []vc.VotedBallot
+	sigs  [][]byte
+	posts []*bb.TrusteePost
+}
+
+// buildTallyFixture runs EA setup and synthesizes the publish-phase inputs
+// directly — no VC nodes, no network. The vote set is built from the ballot
+// secrets (serial i votes part i%2, option i%m), signed with the VC keys the
+// manifest advertises, so BB ingress validation is exercised for real.
+func buildTallyFixture(cfg TallyAblationConfig) (*tallyFixture, error) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "tally-ablation-" + cfg.Seed,
+		Options:     []string{"alpha", "beta"},
+		NumBallots:  cfg.Ballots,
+		NumVC:       4,
+		NumBB:       1,
+		NumTrustees: cfg.Trustees,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := len(data.Manifest.Options)
+	set := make([]vc.VotedBallot, 0, cfg.Votes)
+	for i := 0; i < cfg.Votes; i++ {
+		b := data.Ballots[i]
+		part, opt := i%2, i%m
+		set = append(set, vc.VotedBallot{
+			Serial: b.Serial,
+			Code:   b.Parts[part].Lines[opt].VoteCode,
+		})
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i].Serial < set[j].Serial })
+
+	f := &tallyFixture{data: data, set: set}
+	f.sigs = make([][]byte, data.Manifest.FaultyVC()+1)
+	for vi := range f.sigs {
+		f.sigs[vi] = vc.SignVoteSetWith(data.VC[vi].Private, data.Manifest.ElectionID, set)
+	}
+
+	// Compute the honest posts once against a scratch node; every column
+	// replays the same bytes.
+	scratch, err := f.bootNode()
+	if err != nil {
+		return nil, err
+	}
+	reader := bb.NewReader([]bb.API{scratch})
+	ht := data.Manifest.TrusteeThreshold
+	f.posts = make([]*bb.TrusteePost, ht)
+	for i := range f.posts {
+		tr, err := trustee.New(data.Trustees[i])
+		if err != nil {
+			return nil, err
+		}
+		tr.Workers = cfg.Workers
+		if f.posts[i], err = tr.ComputePost(reader); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// bootNode starts a fresh BB node and feeds it the agreed vote set and
+// enough master-key shares to publish the cast data.
+func (f *tallyFixture) bootNode() (*bb.Node, error) {
+	node, err := bb.NewNode(f.data.BB)
+	if err != nil {
+		return nil, err
+	}
+	for vi, s := range f.sigs {
+		if err := node.SubmitVoteSet(vi, f.set, s); err != nil {
+			return nil, fmt.Errorf("vote set from vc %d: %w", vi, err)
+		}
+	}
+	for vi := 0; vi < f.data.Manifest.ReceiptThreshold(); vi++ {
+		if err := node.SubmitMskShare(f.data.VC[vi].Msk); err != nil {
+			return nil, fmt.Errorf("msk share %d: %w", vi, err)
+		}
+	}
+	if _, err := node.Cast(); err != nil {
+		return nil, fmt.Errorf("cast data not published: %w", err)
+	}
+	return node, nil
+}
+
+// runTallyColumn replays the fixture's posts against a fresh node under one
+// pipeline configuration and measures the combine and a full audit.
+func (f *tallyFixture) runTallyColumn(name string, workers int, noBatch bool) (TallyPoint, error) {
+	node, err := f.bootNode()
+	if err != nil {
+		return TallyPoint{}, fmt.Errorf("tally ablation (%s): %w", name, err)
+	}
+	node.CombineWorkers = workers
+	node.DisableBatchVerify = noBatch
+	for _, p := range f.posts {
+		if err := node.SubmitTrusteePost(p); err != nil {
+			return TallyPoint{}, fmt.Errorf("tally ablation (%s): post %d: %w", name, p.Trustee, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := node.WaitResult(ctx)
+	if err != nil {
+		return TallyPoint{}, fmt.Errorf("tally ablation (%s): %w", name, err)
+	}
+	snap := node.Metrics()
+
+	reader := bb.NewReader([]bb.API{node})
+	auditStart := time.Now()
+	rep, err := auditor.AuditWith(reader, nil, auditor.Options{Workers: workers, DisableBatchVerify: noBatch})
+	auditTime := time.Since(auditStart)
+	if err != nil {
+		return TallyPoint{}, fmt.Errorf("tally ablation (%s): audit: %w", name, err)
+	}
+	if !rep.OK() {
+		return TallyPoint{}, fmt.Errorf("tally ablation (%s): audit failed: %v", name, rep.Failures[0])
+	}
+	return TallyPoint{
+		Config:     name,
+		CombineSec: snap.CombineTime.Seconds(),
+		AuditSec:   auditTime.Seconds(),
+		Attempts:   snap.CombineAttempts,
+		Fallbacks:  snap.BatchFallbacks,
+		Result:     res,
+		Audit:      auditTime,
+	}, nil
+}
+
+// RunTallyAblation measures the publish-phase combine and the auditor over
+// the same election under three pipeline configurations: sequential
+// per-element verification (the seed's behaviour), parallel per-element
+// verification, and the full parallel + batch-verified pipeline. The
+// parallel+batched speedup over sequential is the `tally-speedup` ratio the
+// CI baseline gates; on a single-CPU runner it comes almost entirely from
+// the batched random-linear-combination check, so the gate is insensitive
+// to core count.
+func RunTallyAblation(cfg TallyAblationConfig) ([]TallyPoint, error) {
+	cfg = cfg.withDefaults()
+	f, err := buildTallyFixture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cols := []struct {
+		name    string
+		workers int
+		noBatch bool
+	}{
+		{"sequential", 1, true},
+		{"parallel", cfg.Workers, true},
+		{"parallel+batched", cfg.Workers, false},
+	}
+	points := make([]TallyPoint, 0, len(cols))
+	var seqCombine float64
+	for _, col := range cols {
+		pt, err := f.runTallyColumn(col.name, col.workers, col.noBatch)
+		if err != nil {
+			return nil, err
+		}
+		if col.name == "sequential" {
+			seqCombine = pt.CombineSec
+		}
+		if pt.CombineSec > 0 && seqCombine > 0 {
+			pt.Speedup = seqCombine / pt.CombineSec
+		}
+		points = append(points, pt)
+	}
+	// All columns verified the same perfectly-binding commitments, so their
+	// results must agree bit-for-bit.
+	for _, pt := range points[1:] {
+		for j := range pt.Result.Counts {
+			if pt.Result.Counts[j] != points[0].Result.Counts[j] {
+				return nil, fmt.Errorf("tally ablation: %s counts diverge from sequential", pt.Config)
+			}
+		}
+	}
+	return points, nil
+}
+
+// PrintTallyAblation formats the ablation, one row per configuration.
+func PrintTallyAblation(w io.Writer, points []TallyPoint, cfg TallyAblationConfig) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "# Tally ablation: publish-phase combine + audit, %d ballots / %d votes / %d trustees\n",
+		cfg.Ballots, cfg.Votes, cfg.Trustees)
+	fmt.Fprintf(w, "%-18s %-12s %-12s %-10s %-9s %-9s\n",
+		"config", "combine-sec", "audit-sec", "speedup", "attempts", "fallbacks")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-18s %-12.3f %-12.3f %-10.2f %-9d %-9d\n",
+			p.Config, p.CombineSec, p.AuditSec, p.Speedup, p.Attempts, p.Fallbacks)
+	}
+}
+
+// ByzantinePoint is one row of the Byzantine tally sweep: the combine cost
+// of a publish phase with k garbage-share trustees submitting first.
+type ByzantinePoint struct {
+	Garbage    int     // garbage trustees whose posts arrive before any honest post
+	CombineSec float64 // total combine time across all attempts
+	Attempts   int64   // combine attempts until the result published
+	Blames     int64   // trustees the blame protocol pinned
+}
+
+// RunByzantineTallySweep measures how combine cost grows with the number of
+// garbage-share trustees. Garbage posts are submitted first so every
+// combine attempt until blame completes is poisoned — the seed's
+// exponential subset search made this the worst case; the blame protocol
+// keeps it linear in k (one failed attempt plus per-row classification per
+// round of blame).
+func RunByzantineTallySweep(cfg TallyAblationConfig, maxGarbage int) ([]ByzantinePoint, error) {
+	cfg = cfg.withDefaults()
+	f, err := buildTallyFixture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nt := cfg.Trustees
+	ht := f.data.Manifest.TrusteeThreshold
+	if maxGarbage < 0 {
+		maxGarbage = 0
+	}
+	if maxGarbage > nt-ht {
+		maxGarbage = nt - ht
+	}
+	// Honest posts for every trustee, plus garbage twins for the first
+	// maxGarbage positions (the only ones the sweep poisons).
+	scratch, err := f.bootNode()
+	if err != nil {
+		return nil, err
+	}
+	scratchReader := bb.NewReader([]bb.API{scratch})
+	honest := make([]*bb.TrusteePost, nt)
+	garbage := make([]*bb.TrusteePost, nt)
+	for i := 0; i < nt; i++ {
+		tr, err := trustee.New(f.data.Trustees[i])
+		if err != nil {
+			return nil, err
+		}
+		tr.Workers = cfg.Workers
+		if i < len(f.posts) && f.posts[i] != nil {
+			honest[i] = f.posts[i]
+		} else if honest[i], err = tr.ComputePost(scratchReader); err != nil {
+			return nil, err
+		}
+		if i < maxGarbage {
+			tr.SetByzantine(trustee.GarbageShares)
+			if garbage[i], err = tr.ComputePost(scratchReader); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	points := make([]ByzantinePoint, 0, maxGarbage+1)
+	for k := 0; k <= maxGarbage; k++ {
+		node, err := f.bootNode()
+		if err != nil {
+			return nil, err
+		}
+		node.CombineWorkers = cfg.Workers
+		// k garbage posts first, then honest posts until a result is
+		// possible: the node must blame its way out of k poisoned attempts.
+		for i := 0; i < k; i++ {
+			if err := node.SubmitTrusteePost(garbage[i]); err != nil {
+				return nil, fmt.Errorf("byzantine sweep (k=%d): garbage post: %w", k, err)
+			}
+		}
+		for i := k; i < nt; i++ {
+			if err := node.SubmitTrusteePost(honest[i]); err != nil {
+				return nil, fmt.Errorf("byzantine sweep (k=%d): honest post: %w", k, err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		_, err = node.WaitResult(ctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("byzantine sweep (k=%d): %w", k, err)
+		}
+		snap := node.Metrics()
+		points = append(points, ByzantinePoint{
+			Garbage:    k,
+			CombineSec: snap.CombineTime.Seconds(),
+			Attempts:   snap.CombineAttempts,
+			Blames:     snap.BadPostBlames,
+		})
+	}
+	return points, nil
+}
+
+// PrintByzantineTallySweep formats the sweep, one row per garbage count.
+func PrintByzantineTallySweep(w io.Writer, points []ByzantinePoint, cfg TallyAblationConfig) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "# Byzantine tally sweep: combine cost vs garbage trustees (%d ballots, Nt=%d)\n",
+		cfg.Ballots, cfg.Trustees)
+	fmt.Fprintf(w, "%-9s %-12s %-9s %-9s\n", "garbage", "combine-sec", "attempts", "blames")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-9d %-12.3f %-9d %-9d\n", p.Garbage, p.CombineSec, p.Attempts, p.Blames)
+	}
+}

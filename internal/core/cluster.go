@@ -465,11 +465,17 @@ func (c *Cluster) RunTrustees() error {
 			return fmt.Errorf("core: trustee %d: %w", i, err)
 		}
 	}
+	// Combination runs in a background worker per BB node, so submission
+	// returning does not mean the result exists yet; wait for each honest
+	// node to publish (bounded, in case a Byzantine trustee mix leaves a
+	// node without a valid subset).
+	waitCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 	for i, bnode := range c.BBs {
 		if bnode.Lying {
 			continue
 		}
-		if _, err := bnode.Result(); err != nil {
+		if _, err := bnode.WaitResult(waitCtx); err != nil {
 			return fmt.Errorf("core: bb %d did not publish a result: %w", i, err)
 		}
 	}

@@ -1,0 +1,85 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+
+	"ddemos/internal/crypto/group"
+)
+
+// batchVerifyThreshold is the batch size below which VerifyOpeningsBatch
+// falls back to per-element checks: the multi-scalar multiplication only
+// amortizes its fixed costs past a few dozen terms. Variable in tests.
+var batchVerifyThreshold = 32
+
+// batchGammaBits is the size of the random linear-combination coefficients.
+// 128 bits keep the false-accept probability at 2^-128 while halving the
+// scalar length fed to the multi-scalar multiplications.
+const batchGammaBits = 128
+
+// VerifyOpeningsBatch checks VerifyOpening(cts[i], ms[i], rs[i]) for all i
+// with a single random-linear-combination test: for fresh random γᵢ it
+// verifies
+//
+//	Σ γᵢ·Aᵢ == (Σ γᵢ·rᵢ)·G
+//	Σ γᵢ·Bᵢ == (Σ γᵢ·mᵢ)·G + (Σ γᵢ·rᵢ)·P
+//
+// via two multi-scalar multiplications. If every individual opening is
+// valid, the batch always accepts; if any is invalid, the batch accepts
+// with probability 2^-128 (an adversary would have to predict γ, which is
+// sampled after the openings are fixed). rnd defaults to crypto/rand.
+//
+// A false return only means at least one opening failed — use
+// VerifyOpening to locate it.
+func (k CommitmentKey) VerifyOpeningsBatch(cts []Ciphertext, ms, rs []*big.Int, rnd io.Reader) (bool, error) {
+	n := len(cts)
+	if len(ms) != n || len(rs) != n {
+		return false, errors.New("elgamal: batch length mismatch")
+	}
+	if n == 0 {
+		return true, nil
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if n < batchVerifyThreshold {
+		for i := range cts {
+			if !k.VerifyOpening(cts[i], ms[i], rs[i]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	order := group.Order()
+	bound := new(big.Int).Lsh(big.NewInt(1), batchGammaBits)
+	gammas := make([]*big.Int, n)
+	as := make([]group.Point, n)
+	bs := make([]group.Point, n)
+	sm := new(big.Int)
+	sr := new(big.Int)
+	tmp := new(big.Int)
+	for i := range cts {
+		g, err := rand.Int(rnd, bound)
+		if err != nil {
+			return false, err
+		}
+		gammas[i] = g
+		as[i] = cts[i].A
+		bs[i] = cts[i].B
+		sm.Add(sm, tmp.Mul(g, ms[i]))
+		sr.Add(sr, tmp.Mul(g, rs[i]))
+	}
+	sm.Mod(sm, order)
+	sr.Mod(sr, order)
+
+	lhsA := group.MultiScalarMulVartime(as, gammas)
+	if !lhsA.Equal(group.BaseMul(sr)) {
+		return false, nil
+	}
+	lhsB := group.MultiScalarMulVartime(bs, gammas)
+	rhsB := group.BaseMul(sm).Add(k.P.Mul(sr))
+	return lhsB.Equal(rhsB), nil
+}

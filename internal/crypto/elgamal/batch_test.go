@@ -1,0 +1,147 @@
+package elgamal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"testing"
+)
+
+// detRand yields deterministic bytes so batch γ sampling is reproducible.
+type detRand struct {
+	state [32]byte
+	buf   []byte
+}
+
+func newDetRand(seed []byte) *detRand {
+	return &detRand{state: sha256.Sum256(seed)}
+}
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		if len(d.buf) == 0 {
+			d.state = sha256.Sum256(d.state[:])
+			d.buf = append(d.buf[:0], d.state[:]...)
+		}
+		p[i] = d.buf[0]
+		d.buf = d.buf[1:]
+	}
+	return len(p), nil
+}
+
+func makeOpenings(t testing.TB, k CommitmentKey, n int, seed []byte) ([]Ciphertext, []*big.Int, []*big.Int) {
+	rnd := newDetRand(seed)
+	cts := make([]Ciphertext, n)
+	ms := make([]*big.Int, n)
+	rs := make([]*big.Int, n)
+	for i := range cts {
+		var err error
+		ms[i] = big.NewInt(int64(i % 3))
+		cts[i], rs[i], err = k.Encrypt(ms[i], rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cts, ms, rs
+}
+
+func TestVerifyOpeningsBatchAcceptsValid(t *testing.T) {
+	k := DeriveCommitmentKey("batch-test")
+	for _, n := range []int{0, 1, 5, batchVerifyThreshold, 100} {
+		cts, ms, rs := makeOpenings(t, k, n, []byte("valid"))
+		ok, err := k.VerifyOpeningsBatch(cts, ms, rs, newDetRand([]byte("gamma")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: valid batch rejected", n)
+		}
+	}
+}
+
+func TestVerifyOpeningsBatchRejectsInvalid(t *testing.T) {
+	k := DeriveCommitmentKey("batch-test")
+	for _, n := range []int{1, 5, batchVerifyThreshold, 100} {
+		for _, corrupt := range []string{"m", "r", "A", "B"} {
+			cts, ms, rs := makeOpenings(t, k, n, []byte("invalid"))
+			i := n / 2
+			switch corrupt {
+			case "m":
+				ms[i] = new(big.Int).Add(ms[i], big.NewInt(1))
+			case "r":
+				rs[i] = new(big.Int).Add(rs[i], big.NewInt(1))
+			case "A":
+				cts[i].A = cts[i].A.Add(cts[i].A)
+			case "B":
+				cts[i].B = cts[i].B.Add(cts[i].B)
+			}
+			ok, err := k.VerifyOpeningsBatch(cts, ms, rs, newDetRand([]byte("gamma")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatalf("n=%d corrupt=%s: invalid batch accepted", n, corrupt)
+			}
+		}
+	}
+}
+
+func TestVerifyOpeningsBatchLengthMismatch(t *testing.T) {
+	k := DeriveCommitmentKey("batch-test")
+	cts, ms, rs := makeOpenings(t, k, 3, []byte("len"))
+	if _, err := k.VerifyOpeningsBatch(cts, ms[:2], rs, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := k.VerifyOpeningsBatch(cts, ms, rs[:2], nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+// FuzzBatchOpeningVerify checks the defining property of the batch: its
+// verdict matches per-element verification (the 2^-128 false-accept slice
+// is unreachable for a fuzzer that cannot invert SHA-256).
+func FuzzBatchOpeningVerify(f *testing.F) {
+	f.Add([]byte("seed"), uint8(8), uint16(0), uint8(0))
+	f.Add([]byte("seed2"), uint8(40), uint16(3), uint8(1))
+	f.Add([]byte("x"), uint8(1), uint16(1), uint8(2))
+	f.Add([]byte("y"), uint8(33), uint16(7), uint8(3))
+	f.Fuzz(func(t *testing.T, seed []byte, n uint8, corrupt uint16, mode uint8) {
+		if n == 0 || n > 48 {
+			t.Skip()
+		}
+		// Exercise both the fallback and MSM paths regardless of n.
+		old := batchVerifyThreshold
+		if mode&1 == 0 {
+			batchVerifyThreshold = 0
+		}
+		defer func() { batchVerifyThreshold = old }()
+
+		k := DeriveCommitmentKey("fuzz-batch")
+		cts, ms, rs := makeOpenings(t, k, int(n), seed)
+		if corrupt != 0 {
+			i := int(corrupt) % int(n)
+			var delta [8]byte
+			binary.BigEndian.PutUint64(delta[:], uint64(corrupt))
+			switch mode >> 1 & 1 {
+			case 0:
+				ms[i] = new(big.Int).Add(ms[i], new(big.Int).SetBytes(delta[:]))
+			default:
+				rs[i] = new(big.Int).Add(rs[i], big.NewInt(int64(corrupt)))
+			}
+		}
+		want := true
+		for i := range cts {
+			if !k.VerifyOpening(cts[i], ms[i], rs[i]) {
+				want = false
+				break
+			}
+		}
+		got, err := k.VerifyOpeningsBatch(cts, ms, rs, newDetRand(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("batched=%v per-element=%v (n=%d corrupt=%d mode=%d)", got, want, n, corrupt, mode)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package pedersen
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"testing"
+
+	"ddemos/internal/crypto/group"
+)
+
+type detRand struct {
+	state [32]byte
+	buf   []byte
+}
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		if len(d.buf) == 0 {
+			d.state = sha256.Sum256(d.state[:])
+			d.buf = append(d.buf[:0], d.state[:]...)
+		}
+		p[i] = d.buf[0]
+		d.buf = d.buf[1:]
+	}
+	return len(p), nil
+}
+
+func makeCommitments(t *testing.T, n int, seed string) ([]group.Point, []*big.Int, []*big.Int) {
+	t.Helper()
+	rnd := &detRand{state: sha256.Sum256([]byte(seed))}
+	cs := make([]group.Point, n)
+	ms := make([]*big.Int, n)
+	rs := make([]*big.Int, n)
+	for i := range cs {
+		m, err := group.RandScalar(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := group.RandScalar(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i], rs[i] = m, r
+		cs[i] = Commit(m, r)
+	}
+	return cs, ms, rs
+}
+
+func TestOpenBatch(t *testing.T) {
+	for _, n := range []int{0, 1, 7, openBatchThreshold, 90} {
+		cs, ms, rs := makeCommitments(t, n, "pedersen-batch")
+		rnd := &detRand{state: sha256.Sum256([]byte("gamma"))}
+		ok, err := OpenBatch(cs, ms, rs, rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: valid batch rejected", n)
+		}
+		if n == 0 {
+			continue
+		}
+		ms[n/2] = new(big.Int).Add(ms[n/2], big.NewInt(1))
+		ok, err = OpenBatch(cs, ms, rs, rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("n=%d: invalid batch accepted", n)
+		}
+	}
+}
+
+func TestOpenBatchLengthMismatch(t *testing.T) {
+	cs, ms, rs := makeCommitments(t, 3, "len")
+	if _, err := OpenBatch(cs, ms[:2], rs, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := OpenBatch(cs, ms, rs[:1], nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}

@@ -217,6 +217,7 @@ func BBHandler(node *bb.Node) http.Handler {
 	serve("/voteset", func() (any, error) { return node.VoteSet() })
 	serve("/cast", func() (any, error) { return node.Cast() })
 	serve("/result", func() (any, error) { return node.Result() })
+	serve("/metrics", func() (any, error) { s := node.Metrics(); return &s, nil })
 
 	mux.HandleFunc("POST /submit/voteset", func(w http.ResponseWriter, r *http.Request) {
 		var sub VoteSetSubmission
@@ -386,6 +387,17 @@ func (c *BBClient) Cast() (*bb.CastData, error) {
 func (c *BBClient) Result() (*bb.Result, error) {
 	var v bb.Result
 	if err := c.get("/result", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Metrics fetches the node's operational counters (publish-phase ingress
+// and combine statistics). Not part of bb.API: it is operator tooling, not
+// election data.
+func (c *BBClient) Metrics() (*bb.Snapshot, error) {
+	var v bb.Snapshot
+	if err := c.get("/metrics", &v); err != nil {
 		return nil, err
 	}
 	return &v, nil

@@ -1,0 +1,49 @@
+// Package parallel provides a minimal fixed-size worker pool for data-
+// parallel loops. It exists so the tally pipeline (bb combine, trustee
+// post construction, auditor verification) shares one tested helper
+// instead of three hand-rolled goroutine fans.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) for every i in [0, n), spread across up to `workers`
+// goroutines, and returns when all calls complete. workers <= 0 means
+// GOMAXPROCS. With one worker (or n <= 1) it runs inline, so single-
+// threaded callers pay no goroutine overhead.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

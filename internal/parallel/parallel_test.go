@@ -1,0 +1,35 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 63, 1000} {
+			counts := make([]atomic.Int32, n)
+			Run(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunInlineForSingleWorker(t *testing.T) {
+	// With one worker the calls must run on the caller's goroutine, in
+	// order — callers rely on this for deterministic single-threaded runs.
+	var order []int
+	Run(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d of 5 calls", len(order))
+	}
+}

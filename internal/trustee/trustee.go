@@ -13,6 +13,7 @@
 package trustee
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"math/big"
@@ -21,6 +22,7 @@ import (
 	"ddemos/internal/crypto/group"
 	"ddemos/internal/crypto/zkp"
 	"ddemos/internal/ea"
+	"ddemos/internal/parallel"
 	"ddemos/internal/sig"
 )
 
@@ -32,14 +34,22 @@ const (
 	// Honest follows the protocol.
 	Honest Byzantine = iota
 	// GarbageShares posts random-looking shares under a valid signature
-	// (the attack BB subset search must reject).
+	// (the attack the BB blame protocol must pin on this trustee).
 	GarbageShares
+	// Equivocate posts the honest shares to even-indexed BB nodes and a
+	// differently-signed corrupted post to odd-indexed ones — the strongest
+	// per-trustee attack, since no single node sees an invalid signature.
+	Equivocate
 )
 
 // Trustee is one trustee.
 type Trustee struct {
 	init *ea.TrusteeInit
 	byz  Byzantine
+
+	// Workers bounds the parallelism of post computation
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // New builds a trustee from its initialization data.
@@ -67,46 +77,37 @@ func (t *Trustee) ComputePost(reader *bb.Reader) (*bb.TrusteePost, error) {
 }
 
 // post derives the trustee's contribution from the published cast data.
+// Ballots are independent, so the per-ballot work runs in parallel; the
+// merge happens in ballot order, keeping the post byte-identical to a
+// sequential computation (TestTrusteePostIsDeterministic relies on this).
 func (t *Trustee) post(cast *bb.CastData) (*bb.TrusteePost, error) {
 	man := &t.init.Manifest
 	m := len(man.Options)
 	master := zkp.MasterChallenge(man.ElectionID, cast.Coins)
 
-	// Validate the vote set the way §III-H prescribes: a ballot with both
-	// parts marked voted, or with more than MaxSelections codes on a part,
-	// is invalid and treated as unvoted (both parts opened, no tally
-	// contribution).
+	// Validate the vote set the way §III-H prescribes, sharing the exact
+	// helper BB nodes use so trustees and BB can never diverge on which
+	// rows enter the tally.
+	used := bb.UsedParts(man.MaxSelections, cast.Marks)
 	marks := make(map[uint64][]bb.CastMark, len(cast.Marks))
 	for _, mk := range cast.Marks {
 		marks[mk.Serial] = append(marks[mk.Serial], mk)
 	}
-	usedPartOf := make(map[uint64]int, len(marks))
-	for serial, ms := range marks {
-		part := int(ms[0].Part)
-		valid := len(ms) <= man.MaxSelections
-		for _, mk := range ms {
-			if int(mk.Part) != part {
-				valid = false // both parts used: discard ballot
-			}
-		}
-		if valid {
-			usedPartOf[serial] = part
-		}
-	}
 
-	post := &bb.TrusteePost{
-		Trustee:    t.init.Index,
-		ShareIndex: uint32(t.init.Index) + 1, //nolint:gosec // small
-		TallyMs:    zeroScalars(m),
-		TallyRs:    zeroScalars(m),
+	type ballotOut struct {
+		openings []bb.OpeningShare
+		proofs   []bb.ProofFinalShare
+		tallyMs  []*big.Int
+		tallyRs  []*big.Int
 	}
-
-	for bi := range t.init.Ballots {
+	outs := make([]ballotOut, len(t.init.Ballots))
+	parallel.Run(t.Workers, len(t.init.Ballots), func(bi int) {
+		out := &outs[bi]
 		tb := &t.init.Ballots[bi]
-		usedPart, voted := usedPartOf[tb.Serial]
+		usedPart, voted := used[tb.Serial]
 		for part := 0; part < 2; part++ {
 			rows := tb.Parts[part]
-			if voted && part == usedPart {
+			if voted && uint8(part) == usedPart { //nolint:gosec // part<2
 				// Used part: finalize proofs for every row.
 				for row := range rows {
 					tr := &rows[row]
@@ -116,7 +117,7 @@ func (t *Trustee) post(cast *bb.CastData) (*bb.TrusteePost, error) {
 						bits[col] = tr.BitCoeffs[col].Finalize(c)
 					}
 					cSum := zkp.DeriveChallenge(master, tb.Serial, uint8(part), row, zkp.SumProofCol) //nolint:gosec // part<2
-					post.Proofs = append(post.Proofs, bb.ProofFinalShare{
+					out.proofs = append(out.proofs, bb.ProofFinalShare{
 						Serial: tb.Serial, Part: uint8(part), Row: row, //nolint:gosec // part<2
 						Bits: bits, Sum: tr.SumCoeffs.Finalize(cSum),
 					})
@@ -125,9 +126,12 @@ func (t *Trustee) post(cast *bb.CastData) (*bb.TrusteePost, error) {
 				// homomorphism of the secret sharing, §III-B).
 				for _, mk := range marks[tb.Serial] {
 					tr := &rows[mk.Row]
+					if out.tallyMs == nil {
+						out.tallyMs, out.tallyRs = zeroScalars(m), zeroScalars(m)
+					}
 					for col := 0; col < m; col++ {
-						post.TallyMs[col] = group.AddScalar(post.TallyMs[col], tr.MShares[col])
-						post.TallyRs[col] = group.AddScalar(post.TallyRs[col], tr.RShares[col])
+						out.tallyMs[col] = group.AddScalar(out.tallyMs[col], tr.MShares[col])
+						out.tallyRs[col] = group.AddScalar(out.tallyRs[col], tr.RShares[col])
 					}
 				}
 				continue
@@ -135,26 +139,79 @@ func (t *Trustee) post(cast *bb.CastData) (*bb.TrusteePost, error) {
 			// Audit part: disclose opening shares.
 			for row := range rows {
 				tr := &rows[row]
-				post.Openings = append(post.Openings, bb.OpeningShare{
+				out.openings = append(out.openings, bb.OpeningShare{
 					Serial: tb.Serial, Part: uint8(part), Row: row, //nolint:gosec // part<2
 					Ms: cloneScalars(tr.MShares), Rs: cloneScalars(tr.RShares),
 				})
 			}
 		}
+	})
+
+	post := &bb.TrusteePost{
+		Trustee:    t.init.Index,
+		ShareIndex: uint32(t.init.Index) + 1, //nolint:gosec // small
+		TallyMs:    zeroScalars(m),
+		TallyRs:    zeroScalars(m),
+	}
+	for bi := range outs {
+		out := &outs[bi]
+		post.Openings = append(post.Openings, out.openings...)
+		post.Proofs = append(post.Proofs, out.proofs...)
+		if out.tallyMs != nil {
+			for col := 0; col < m; col++ {
+				post.TallyMs[col] = group.AddScalar(post.TallyMs[col], out.tallyMs[col])
+				post.TallyRs[col] = group.AddScalar(post.TallyRs[col], out.tallyRs[col])
+			}
+		}
 	}
 
 	if t.byz == GarbageShares {
+		// The perturbation must be trustee-dependent, as genuinely garbage
+		// shares would be: with a shared constant, two garbage trustees'
+		// deviations can cancel under Lagrange coefficients (e.g. λ₁=+2,
+		// λ₃=−2 in the subset {1,3,4}), making the pair indistinguishable
+		// from honest — a collusion the blame protocol explicitly does not
+		// defend against (see DESIGN.md).
+		delta := garbageDelta(t.init.Index)
 		for i := range post.TallyMs {
-			post.TallyMs[i] = group.AddScalar(post.TallyMs[i], big.NewInt(1337))
+			post.TallyMs[i] = group.AddScalar(post.TallyMs[i], delta)
 		}
 		if len(post.Openings) > 0 {
-			post.Openings[0].Ms[0] = group.AddScalar(post.Openings[0].Ms[0], big.NewInt(7))
+			post.Openings[0].Ms[0] = group.AddScalar(post.Openings[0].Ms[0], delta)
 		}
 	}
 
-	hash := bb.HashPost(man.ElectionID, post)
-	post.Sig = sig.Sign(t.init.Private, "ddemos/v1/trustee-post", hash[:])
+	t.signPost(post)
 	return post, nil
+}
+
+// garbageDelta derives a pseudorandom per-trustee perturbation scalar.
+func garbageDelta(index int) *big.Int {
+	h := sha256.Sum256([]byte(fmt.Sprintf("ddemos/test/garbage-shares/%d", index)))
+	return new(big.Int).Mod(new(big.Int).SetBytes(h[:]), group.Order())
+}
+
+func (t *Trustee) signPost(post *bb.TrusteePost) {
+	hash := bb.HashPost(t.init.Manifest.ElectionID, post)
+	post.Sig = sig.Sign(t.init.Private, "ddemos/v1/trustee-post", hash[:])
+}
+
+// equivocatePost builds the corrupted twin an Equivocate trustee sends to
+// odd-indexed BB nodes: same shape (so it passes ingress validation),
+// perturbed shares, fresh valid signature.
+func (t *Trustee) equivocatePost(honest *bb.TrusteePost) *bb.TrusteePost {
+	alt := *honest
+	alt.TallyMs = cloneScalars(honest.TallyMs)
+	alt.TallyMs[0] = group.AddScalar(alt.TallyMs[0], big.NewInt(13))
+	if len(honest.Openings) > 0 {
+		alt.Openings = append([]bb.OpeningShare(nil), honest.Openings...)
+		o := alt.Openings[0]
+		o.Ms = cloneScalars(o.Ms)
+		o.Ms[0] = group.AddScalar(o.Ms[0], big.NewInt(13))
+		alt.Openings[0] = o
+	}
+	t.signPost(&alt)
+	return &alt
 }
 
 // PublishTo computes the post once and submits it to every BB node.
@@ -163,9 +220,17 @@ func (t *Trustee) PublishTo(reader *bb.Reader, nodes []*bb.Node) error {
 	if err != nil {
 		return err
 	}
+	var alt *bb.TrusteePost
+	if t.byz == Equivocate {
+		alt = t.equivocatePost(post)
+	}
 	var firstErr error
-	for _, n := range nodes {
-		if err := n.SubmitTrusteePost(post); err != nil && firstErr == nil {
+	for i, n := range nodes {
+		p := post
+		if alt != nil && i%2 == 1 {
+			p = alt
+		}
+		if err := n.SubmitTrusteePost(p); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("trustee %d: submitting post: %w", t.init.Index, err)
 		}
 	}

@@ -61,6 +61,23 @@ func setup(t *testing.T, votes []int) (*core.Cluster, *ea.ElectionData) {
 	return cluster, data
 }
 
+// waitResults blocks until every honest BB node publishes its result;
+// combination runs in a background worker, so PublishTo returning does not
+// mean the results exist yet.
+func waitResults(t *testing.T, cluster *core.Cluster) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, node := range cluster.BBs {
+		if node.Lying {
+			continue
+		}
+		if _, err := node.WaitResult(ctx); err != nil {
+			t.Fatalf("bb %d did not publish a result: %v", i, err)
+		}
+	}
+}
+
 func TestThresholdOfTrusteesSuffices(t *testing.T) {
 	// Only ht = 3 of 5 trustees participate: the result must still publish.
 	cluster, data := setup(t, []int{0, 2, 2, -1})
@@ -73,6 +90,7 @@ func TestThresholdOfTrusteesSuffices(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitResults(t, cluster)
 	res, err := cluster.Reader.Result()
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +154,7 @@ func TestGarbageTrusteeIsExcluded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitResults(t, cluster)
 	res, err := cluster.Reader.Result()
 	if err != nil {
 		t.Fatal(err)
