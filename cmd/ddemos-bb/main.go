@@ -14,6 +14,7 @@ import (
 	"ddemos/internal/bb"
 	"ddemos/internal/ea"
 	"ddemos/internal/httpapi"
+	"ddemos/internal/vc"
 )
 
 func main() {
@@ -22,6 +23,21 @@ func main() {
 	combineWorkers := flag.Int("combine-workers", 0, "parallelism of tally combine attempts (0 = GOMAXPROCS)")
 	noBatchVerify := flag.Bool("no-batch-verify", false, "disable batched opening verification (per-element checks)")
 	metricsEvery := flag.Duration("metrics-every", 0, "log publish-phase metrics at this interval (0 = off; also served at GET /metrics)")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable runtime state (WAL + snapshot); the node recovers accepted vote sets, "+
+			"msk shares, trustee posts and the published result from it on startup, so a crashed replica "+
+			"rejoins the board instead of staying down (empty = memory-only)")
+	fsync := flag.Bool("fsync", false,
+		"fsync the journal before every ack instead of on the batched group-commit cadence "+
+			"(per-submission durability against power loss; requires -data-dir)")
+	journalPool := flag.Int("journal-pool", 1,
+		"number of journal WAL lanes (>1 shards runtime state by submission key with per-lane "+
+			"group-commit fsync and copy-on-write snapshots; requires -data-dir)")
+	journalPolicy := flag.String("journal-policy", "available",
+		"journal-append-error ack policy: 'available' counts errors and keeps serving from memory, "+
+			"'strict' refuses submission acks whose record did not land "+
+			"(the safer election-day setting; requires -data-dir, pair with -fsync for "+
+			"power-loss durability of every ack)")
 	flag.Parse()
 	if *initPath == "" {
 		log.Fatal("-init is required")
@@ -36,13 +52,37 @@ func main() {
 	}
 	node.CombineWorkers = *combineWorkers
 	node.DisableBatchVerify = *noBatchVerify
+	policy, err := vc.ParseAckPolicy(*journalPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		jopts := vc.JournalOptions{Fsync: *fsync, Pool: *journalPool, Policy: policy}
+		if err := node.RecoverWithOptions(*dataDir, jopts); err != nil {
+			log.Fatalf("recovering runtime state from %s: %v", *dataDir, err)
+		}
+		defer node.Close()
+		log.Printf("recovered runtime state from %s (fsync=%v pool=%d policy=%s)",
+			*dataDir, *fsync, *journalPool, policy)
+	} else {
+		switch {
+		case *fsync:
+			log.Fatal("-fsync requires -data-dir")
+		case *journalPool > 1:
+			log.Fatal("-journal-pool requires -data-dir")
+		case policy != vc.PolicyAvailable:
+			log.Fatal("-journal-policy strict requires -data-dir")
+		}
+	}
 	if *metricsEvery > 0 {
 		go func() {
 			for range time.Tick(*metricsEvery) {
 				s := node.Metrics()
-				log.Printf("metrics: posts=%d rejected=%d blamed=%d attempts=%d combine=%s fallbacks=%d published=%v",
-					s.PostsAccepted, s.PostsRejected, s.BadPostBlames,
-					s.CombineAttempts, s.CombineTime, s.BatchFallbacks, s.ResultPublished)
+				log.Printf("metrics: posts=%d rejected=%d equiv=%d/%d blamed=%d attempts=%d combine=%s "+
+					"fallbacks=%d journal=%d jerr=%d snaps=%d published=%v",
+					s.PostsAccepted, s.PostsRejected, s.SetEquivocations, s.PostEquivocations,
+					s.BadPostBlames, s.CombineAttempts, s.CombineTime, s.BatchFallbacks,
+					s.JournalRecords, s.JournalErrors, s.Snapshots, s.ResultPublished)
 			}
 		}()
 	}

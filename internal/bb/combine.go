@@ -77,7 +77,7 @@ func shareIndices(posts []*TrusteePost) []uint32 {
 // kickCombineLocked starts (or re-arms) the background combine worker.
 // Callers hold n.mu.
 func (n *Node) kickCombineLocked() {
-	if n.result != nil || n.tallyAggErr != nil {
+	if n.result != nil || n.tallyAggErr != nil || n.closed {
 		return
 	}
 	if n.combineRunning {
@@ -124,7 +124,7 @@ func (n *Node) candidatesLocked() []*TrusteePost {
 func (n *Node) combineWorker() {
 	for {
 		n.mu.Lock()
-		if n.result != nil {
+		if n.result != nil || n.closed {
 			n.combineRunning = false
 			n.mu.Unlock()
 			return
@@ -165,28 +165,45 @@ func (n *Node) combineWorker() {
 
 		n.mu.Lock()
 		if res != nil {
-			if n.result == nil {
+			installed := false
+			if n.result == nil && !n.closed {
 				n.result = res
-				close(n.resultCh)
+				installed = true
 			}
 			n.combineRunning = false
 			n.mu.Unlock()
+			if installed {
+				// Journal.go's ordering discipline, applied to the publish:
+				// install, then append (off-lock — snapshots capture under
+				// n.mu), then release WaitResult waiters. A waiter that saw
+				// the publish can therefore immediately hard-stop the node
+				// and still find the result record on disk.
+				n.journalResult(res)
+				close(n.resultCh)
+			}
 			return
 		}
 		progress := false
+		var fresh [][]byte
 		for _, t := range blamed {
 			if !n.badPosts[t] {
 				n.badPosts[t] = true
 				n.metrics.BadPostBlames.Add(1)
 				progress = true
+				fresh = append(fresh, encBBBlame(t))
 			}
 		}
-		if !progress && !n.combinePending {
+		stop := !progress && !n.combinePending
+		if stop {
 			n.combineRunning = false
-			n.mu.Unlock()
-			return
 		}
 		n.mu.Unlock()
+		// Blame verdicts are best-effort durable: a lost record only costs
+		// the recovered node one combine attempt to re-derive the blame.
+		_ = n.journalAppend(fresh...)
+		if stop {
+			return
+		}
 	}
 }
 

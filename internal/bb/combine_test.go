@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	ddcore "ddemos/internal/core"
 	"ddemos/internal/ea"
 	"ddemos/internal/trustee"
+	"ddemos/internal/vc"
 	"ddemos/internal/voter"
 )
 
@@ -185,13 +187,24 @@ func TestByzantineTrusteeSweep(t *testing.T) {
 	}
 
 	// freshNodes boots a replica set and feeds it the agreed vote set and
-	// enough master-key shares to publish the cast data.
-	freshNodes := func() []*bb.Node {
+	// enough master-key shares to publish the cast data. Node 0's durability
+	// engine rotates by seed — memory-only, single WAL, 2-lane pooled WAL —
+	// so the Byzantine mixes also exercise every journaling path (the same
+	// rotation the VC restart sweeps run).
+	journalDir := t.TempDir()
+	freshNodes := func(seed int) []*bb.Node {
 		nodes := make([]*bb.Node, 3)
 		for ni := range nodes {
 			node, err := bb.NewNode(data.BB)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if ni == 0 && seed%3 != 0 {
+				dir := filepath.Join(journalDir, fmt.Sprintf("seed-%d", seed))
+				jopts := vc.JournalOptions{Pool: seed % 3} // 1 = single WAL, 2 = pooled
+				if err := node.RecoverWithOptions(dir, jopts); err != nil {
+					t.Fatal(err)
+				}
 			}
 			for vi := 0; vi < man.FaultyVC()+1; vi++ {
 				if err := node.SubmitVoteSet(vi, set, cluster.VCs[vi].SignVoteSet(set)); err != nil {
@@ -231,7 +244,7 @@ func TestByzantineTrusteeSweep(t *testing.T) {
 			equiv = (seed + 2) % nt
 		}
 
-		nodes := freshNodes()
+		nodes := freshNodes(seed)
 		order := rnd.Perm(nt)
 		for _, ti := range order {
 			switch {
@@ -284,5 +297,10 @@ func TestByzantineTrusteeSweep(t *testing.T) {
 			}
 		}
 		cancel()
+		for _, node := range nodes {
+			if err := node.Close(); err != nil {
+				t.Fatalf("seed %d: closing node: %v", seed, err)
+			}
+		}
 	}
 }

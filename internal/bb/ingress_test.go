@@ -1,0 +1,123 @@
+package bb_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/trustee"
+)
+
+// TestSubmitVoteSetPinsFirstSubmission is the regression test for the
+// overwrite bug: a VC's second, different (but validly signed) vote set
+// silently replaced its first, letting a flip-flopping Byzantine VC retract
+// a submission that had already counted toward the fv+1 quorum. The first
+// signature-verified set per VC index is now pinned; equivocation is
+// rejected and counted, identical resubmission is acked.
+func TestSubmitVoteSetPinsFirstSubmission(t *testing.T) {
+	cluster, data := publishSetup(t, []int{0, 1, 1}, 3)
+	set, err := cluster.BBs[0].VoteSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := bb.NewNode(data.BB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SubmitVoteSet(0, set, cluster.VCs[0].SignVoteSet(set)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Equivocation: same VC, validly signed, different content.
+	if len(set) == 0 {
+		t.Fatal("test needs a non-empty vote set")
+	}
+	forged := set[:len(set)-1]
+	if err := node.SubmitVoteSet(0, forged, cluster.VCs[0].SignVoteSet(forged)); !errors.Is(err, bb.ErrBadSubmission) {
+		t.Fatalf("equivocating vote set: err = %v, want ErrBadSubmission", err)
+	}
+	if got := node.Metrics().SetEquivocations; got != 1 {
+		t.Fatalf("SetEquivocations = %d, want 1", got)
+	}
+
+	// Identical resubmission is a duplicate, not equivocation.
+	if err := node.SubmitVoteSet(0, set, cluster.VCs[0].SignVoteSet(set)); err != nil {
+		t.Fatalf("identical resubmission: %v", err)
+	}
+	if got := node.Metrics().SetEquivocations; got != 1 {
+		t.Fatalf("SetEquivocations after resubmission = %d, want 1", got)
+	}
+
+	// The pinned set still counts toward the quorum: one more identical
+	// submission reaches fv+1 and publishes.
+	if err := node.SubmitVoteSet(1, set, cluster.VCs[1].SignVoteSet(set)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := node.VoteSet()
+	if err != nil {
+		t.Fatalf("vote set not agreed after fv+1 identical submissions: %v", err)
+	}
+	if len(got) != len(set) {
+		t.Fatalf("agreed set has %d entries, want %d", len(got), len(set))
+	}
+}
+
+// TestSubmitTrusteePostRejectsEquivocation is the regression test for the
+// silent swallow: a duplicate trustee post with a *different* signed payload
+// returned nil, acking an equivocation while keeping the first post. It is
+// now detected by payload hash, rejected, and counted — and the pinned
+// first post still combines into the correct result.
+func TestSubmitTrusteePostRejectsEquivocation(t *testing.T) {
+	cluster, data := publishSetup(t, []int{0, 1, 1}, 3) // ht = 2
+	posts := honestPosts(t, cluster.Reader, data, 3)
+	node := cluster.BBs[0]
+
+	// A second validly-signed post from trustee 0 with different content.
+	tr, err := trustee.New(data.Trustees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetByzantine(trustee.GarbageShares)
+	garbage, err := tr.ComputePost(cluster.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := node.SubmitTrusteePost(posts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SubmitTrusteePost(garbage); !errors.Is(err, bb.ErrBadSubmission) {
+		t.Fatalf("equivocating post: err = %v, want ErrBadSubmission", err)
+	}
+	m := node.Metrics()
+	if m.PostEquivocations != 1 {
+		t.Fatalf("PostEquivocations = %d, want 1", m.PostEquivocations)
+	}
+
+	// Identical resend is acked without a second acceptance.
+	if err := node.SubmitTrusteePost(posts[0]); err != nil {
+		t.Fatalf("identical resend: %v", err)
+	}
+	if got := node.Metrics().PostsAccepted; got != 1 {
+		t.Fatalf("PostsAccepted = %d, want 1", got)
+	}
+
+	// The pinned honest post combines: one more honest post reaches ht.
+	if err := node.SubmitTrusteePost(posts[1]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := node.WaitResult(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 1 || res.Counts[1] != 2 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+	if blamed := node.BlamedTrustees(); len(blamed) != 0 {
+		t.Fatalf("equivocation rejected at ingress must not reach blame, got %v", blamed)
+	}
+}

@@ -59,7 +59,7 @@ type Node struct {
 	init *ea.BBInit
 
 	mu          sync.Mutex
-	setSubs     map[int][]vc.VotedBallot // per VC index, signature-verified
+	setSubs     map[int][]vc.VotedBallot // per VC index, first signature-verified set (pinned)
 	voteSet     []vc.VotedBallot
 	haveSet     bool
 	mskShares   map[uint32]*big.Int
@@ -69,10 +69,22 @@ type Node struct {
 	tallyAgg    elgamal.VectorCiphertext
 	tallyAggErr error
 	posts       map[int]*TrusteePost
+	postHash    map[int][32]byte    // per-trustee HashPost of the accepted post (equivocation check)
 	shareIdx    map[int]*postShares // per-trustee share index, built at ingress
 	badPosts    map[int]bool        // posts identified as bad by the blame protocol
 	result      *Result
 	resultCh    chan struct{} // closed when result is installed
+	closed      bool
+
+	// Durability layer (journal.go). The per-item flags record which
+	// accepted submissions have a journal record on disk: Strict-policy
+	// duplicate submissions re-attempt the append until the flag is set.
+	journal       vc.JournalBackend
+	journalPolicy vc.AckPolicy
+	setDurable    map[int]bool
+	shareDurable  map[uint32]bool
+	postDurable   map[int]bool
+	resultDurable bool
 
 	combineRunning bool
 	combinePending bool
@@ -107,10 +119,14 @@ func NewNode(init *ea.BBInit) (*Node, error) {
 		setSubs:      make(map[int][]vc.VotedBallot),
 		mskShares:    make(map[uint32]*big.Int),
 		posts:        make(map[int]*TrusteePost),
+		postHash:     make(map[int][32]byte),
 		shareIdx:     make(map[int]*postShares),
 		badPosts:     make(map[int]bool),
 		resultCh:     make(chan struct{}),
 		combineCache: make(map[uint64]*combinedBallot),
+		setDurable:   make(map[int]bool),
+		shareDurable: make(map[uint32]bool),
+		postDurable:  make(map[int]bool),
 	}, nil
 }
 
@@ -136,7 +152,12 @@ func (n *Node) Init() (*ea.BBInit, error) {
 }
 
 // SubmitVoteSet records one VC node's final vote set. The set is accepted
-// and published once fv+1 identical copies arrive (§III-G).
+// and published once fv+1 identical copies arrive (§III-G). The first
+// signature-verified set per VC index is pinned: a later submission with a
+// different set is equivocation and is rejected, so a flip-flopping
+// Byzantine VC cannot retract a submission that already counted toward the
+// fv+1 quorum. On a journaled node the record is appended after the install
+// and before the ack (see journal.go for the ordering argument).
 func (n *Node) SubmitVoteSet(vcIndex int, set []vc.VotedBallot, sigBytes []byte) error {
 	man := &n.init.Manifest
 	if vcIndex < 0 || vcIndex >= man.NumVC {
@@ -154,25 +175,45 @@ func (n *Node) SubmitVoteSet(vcIndex int, set []vc.VotedBallot, sigBytes []byte)
 		}
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.setSubs[vcIndex] = set
-	if n.haveSet {
-		return nil
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
 	}
-	// Count identical submissions.
-	need := man.FaultyVC() + 1
-	count := 0
-	for _, other := range n.setSubs {
-		if voteSetsEqual(set, other) {
-			count++
+	if prev, ok := n.setSubs[vcIndex]; ok {
+		if !voteSetsEqual(prev, set) {
+			n.metrics.SetEquivocations.Add(1)
+			n.mu.Unlock()
+			return fmt.Errorf("%w: vc %d equivocated on its vote set", ErrBadSubmission, vcIndex)
+		}
+		needRec := n.journal != nil && !n.setDurable[vcIndex]
+		n.mu.Unlock()
+		if !needRec {
+			return nil
+		}
+		return n.journalSubmission(encBBSet(vcIndex, prev), func() { n.setDurable[vcIndex] = true })
+	}
+	n.setSubs[vcIndex] = set
+	if !n.haveSet {
+		// Count identical submissions.
+		need := man.FaultyVC() + 1
+		count := 0
+		for _, other := range n.setSubs {
+			if voteSetsEqual(set, other) {
+				count++
+			}
+		}
+		if count >= need {
+			n.voteSet = set
+			n.haveSet = true
+			n.maybePublishCastLocked()
 		}
 	}
-	if count >= need {
-		n.voteSet = set
-		n.haveSet = true
-		n.maybePublishCastLocked()
+	journaled := n.journal != nil
+	n.mu.Unlock()
+	if !journaled {
+		return nil
 	}
-	return nil
+	return n.journalSubmission(encBBSet(vcIndex, set), func() { n.setDurable[vcIndex] = true })
 }
 
 func voteSetsEqual(a, b []vc.VotedBallot) bool {
@@ -188,7 +229,10 @@ func voteSetsEqual(a, b []vc.VotedBallot) bool {
 }
 
 // SubmitMskShare records one VC node's master-key share; with Nv-fv valid
-// shares the key is reconstructed and verified against H_msk.
+// shares the key is reconstructed and verified against H_msk. On a
+// journaled node the share is appended after the install and before the
+// ack; shares arriving after the key is reconstructed add nothing and are
+// acked without storage.
 func (n *Node) SubmitMskShare(share ea.MskShare) error {
 	man := &n.init.Manifest
 	s := shamir.Share{Index: share.Index, Value: share.Value}
@@ -197,14 +241,47 @@ func (n *Node) SubmitMskShare(share ea.MskShare) error {
 		return fmt.Errorf("%w: bad msk share", ErrBadSubmission)
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
 	if n.msk != nil {
+		n.mu.Unlock()
 		return nil
 	}
+	if _, dup := n.mskShares[share.Index]; dup {
+		needRec := n.journal != nil && !n.shareDurable[share.Index]
+		n.mu.Unlock()
+		if !needRec {
+			return nil
+		}
+		return n.journalSubmission(encBBShare(share.Index, share.Value),
+			func() { n.shareDurable[share.Index] = true })
+	}
 	n.mskShares[share.Index] = share.Value
-	hv := man.ReceiptThreshold()
-	if len(n.mskShares) < hv {
+	n.tryReconstructMskLocked()
+	journaled := n.journal != nil
+	n.mu.Unlock()
+	if !journaled {
 		return nil
+	}
+	return n.journalSubmission(encBBShare(share.Index, share.Value),
+		func() { n.shareDurable[share.Index] = true })
+}
+
+// tryReconstructMskLocked attempts master-key reconstruction from the
+// currently-held shares and, on success, publishes the cast data. A failed
+// combination is not an error — more shares may fix it. Caller holds n.mu.
+// Shared by the submission path and recovery (finishRecoveryLocked): any hv
+// EA-verified shares reconstruct the same secret, so the outcome does not
+// depend on which subset or order the shares arrived in.
+func (n *Node) tryReconstructMskLocked() {
+	if n.msk != nil {
+		return
+	}
+	hv := n.init.Manifest.ReceiptThreshold()
+	if len(n.mskShares) < hv {
+		return
 	}
 	shares := make([]shamir.Share, 0, hv)
 	for idx, v := range n.mskShares {
@@ -215,18 +292,17 @@ func (n *Node) SubmitMskShare(share ea.MskShare) error {
 	}
 	secret, err := shamir.Combine(shares, hv)
 	if err != nil {
-		return nil //nolint:nilerr // wait for more shares
+		return // wait for more shares
 	}
 	msk, err := shamir.ScalarToSecret(secret)
 	if err != nil || len(msk) != votecode.KeySize {
-		return nil //nolint:nilerr // wait for more shares
+		return // wait for more shares
 	}
 	if !votecode.VerifyKey(n.init.HMsk, msk, n.init.SaltMsk[:]) {
-		return nil // combination failed H_msk; more shares may fix it
+		return // combination failed H_msk; more shares may fix it
 	}
 	n.msk = msk
 	n.maybePublishCastLocked()
-	return nil
 }
 
 // maybePublishCastLocked decrypts all vote codes and locates the cast ones

@@ -1,8 +1,13 @@
 package bb
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
 	"errors"
+	"fmt"
 	"reflect"
+	"sync/atomic"
 
 	"ddemos/internal/ea"
 	"ddemos/internal/vc"
@@ -49,11 +54,18 @@ func majority[T any](r *Reader, fetch func(API) (T, error)) (T, error) {
 // disagree on (e.g. which trustee subset produced a Result) does not break
 // the vote. The returned value is one of the agreeing replies, provenance
 // intact.
+//
+// Replies are bucketed by a canonical-encoding digest, NOT by
+// reflect.DeepEqual: replies reach the reader both in-process and
+// gob-decoded over HTTP, and big.Int's internal representation is not
+// canonical across that boundary (a decoded zero and new(big.Int) differ in
+// abs nil vs empty), so memory equality would split value-equal honest
+// replies into separate buckets and spuriously report ErrNoMajority.
 func majorityBy[T any](r *Reader, fetch func(API) (T, error), canon func(T) any) (T, error) {
 	var zero T
 	type bucket struct {
 		val   T
-		key   any
+		key   string
 		count int
 	}
 	var buckets []bucket
@@ -62,10 +74,10 @@ func majorityBy[T any](r *Reader, fetch func(API) (T, error), canon func(T) any)
 		if err != nil {
 			continue
 		}
-		key := canon(v)
+		key := bucketKey(canon(v))
 		matched := false
 		for i := range buckets {
-			if reflect.DeepEqual(buckets[i].key, key) {
+			if buckets[i].key == key {
 				buckets[i].count++
 				matched = true
 				if buckets[i].count >= r.need {
@@ -82,6 +94,28 @@ func majorityBy[T any](r *Reader, fetch func(API) (T, error), canon func(T) any)
 		}
 	}
 	return zero, ErrNoMajority
+}
+
+// unencodableSeq disambiguates replies that fail to encode (each buckets
+// alone — conservative, since a lone bucket can never fabricate agreement).
+var unencodableSeq atomic.Uint64
+
+// bucketKey renders a canonicalized reply as a comparable digest. Gob is
+// the canonical encoding: big.Int marshals by value (sign + magnitude,
+// normalized on decode), nil and empty slices inside structs collapse to
+// the same omitted zero field, and encoding is deterministic for the
+// map-free reply types — so two value-equal replies digest identically no
+// matter which transport produced them.
+func bucketKey(v any) string {
+	if v == nil {
+		return "<nil>"
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(v)); err != nil {
+		return fmt.Sprintf("<unencodable %d>", unencodableSeq.Add(1))
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return string(sum[:])
 }
 
 // Manifest reads the election manifest by majority.

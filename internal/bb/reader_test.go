@@ -1,0 +1,158 @@
+package bb_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"ddemos/internal/bb"
+	"ddemos/internal/ea"
+	"ddemos/internal/vc"
+)
+
+// stubAPI serves fixed replies — the reader sees it exactly like an HTTP
+// client for a remote BB node.
+type stubAPI struct {
+	res     *bb.Result
+	set     []vc.VotedBallot
+	failAll bool
+}
+
+var errStub = errors.New("stub: down")
+
+func (s *stubAPI) Manifest() (ea.Manifest, error) {
+	if s.failAll {
+		return ea.Manifest{}, errStub
+	}
+	return ea.Manifest{}, nil
+}
+
+func (s *stubAPI) Init() (*ea.BBInit, error) {
+	if s.failAll {
+		return nil, errStub
+	}
+	return &ea.BBInit{}, nil
+}
+
+func (s *stubAPI) VoteSet() ([]vc.VotedBallot, error) {
+	if s.failAll {
+		return nil, errStub
+	}
+	return s.set, nil
+}
+
+func (s *stubAPI) Cast() (*bb.CastData, error) {
+	if s.failAll {
+		return nil, errStub
+	}
+	return &bb.CastData{}, nil
+}
+
+func (s *stubAPI) Result() (*bb.Result, error) {
+	if s.failAll {
+		return nil, errStub
+	}
+	return s.res, nil
+}
+
+func gobRoundTrip[T any](t *testing.T, v T) T {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	var out T
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// computedZero produces a zero big.Int whose internal slice is non-nil —
+// the representation arithmetic leaves behind (Mod, Sub), which a
+// gob-decoded zero never has. reflect.DeepEqual tells them apart even
+// though they are the same number.
+func computedZero() *big.Int {
+	x := new(big.Int).Mul(big.NewInt(123), big.NewInt(456))
+	return x.Sub(x, new(big.Int).Set(x))
+}
+
+// TestReaderMajorityAcrossGobBoundary is the regression test for the
+// DeepEqual bucketing bug: a reply decoded from gob (the HTTP transport)
+// and an in-process reply that are value-equal could land in different
+// majority buckets, because big.Int's internal representation is not
+// canonical across that boundary — with two honest replicas and one down,
+// the reader then spuriously returned ErrNoMajority. Bucketing by
+// canonical-encoding digest must count them as agreeing.
+func TestReaderMajorityAcrossGobBoundary(t *testing.T) {
+	res := &bb.Result{
+		Counts:  []int64{0, 2},
+		TallyMs: []*big.Int{computedZero(), big.NewInt(2)},
+		TallyRs: []*big.Int{computedZero(), big.NewInt(77)},
+		Openings: []bb.OpenedRow{{
+			Serial: 1, Part: 0, Row: 0,
+			Ms: []*big.Int{computedZero(), big.NewInt(1)},
+			Rs: []*big.Int{big.NewInt(5), computedZero()},
+		}},
+		Trustees: []uint32{1, 2},
+	}
+	decoded := gobRoundTrip(t, res)
+
+	// Premise of the regression: the two replies are the number-for-number
+	// same value, yet memory comparison splits them.
+	if decoded.TallyMs[0].Cmp(res.TallyMs[0]) != 0 {
+		t.Fatal("round trip changed a value — test setup broken")
+	}
+	if reflect.DeepEqual(res, decoded) {
+		t.Skip("representations converged — DeepEqual regression premise gone")
+	}
+
+	// Two honest replicas (one local, one across the gob boundary) and one
+	// down: fb+1 = 2 identical replies are required.
+	reader := bb.NewReader([]bb.API{
+		&stubAPI{res: res},
+		&stubAPI{res: decoded},
+		&stubAPI{failAll: true},
+	})
+	got, err := reader.Result()
+	if err != nil {
+		t.Fatalf("majority read across the gob boundary: %v", err)
+	}
+	if got.Counts[1] != 2 {
+		t.Fatalf("counts = %v", got.Counts)
+	}
+
+	// Genuinely different replies must still fail to reach a majority.
+	forged := gobRoundTrip(t, res)
+	forged.Counts = []int64{2, 0}
+	bad := bb.NewReader([]bb.API{
+		&stubAPI{res: res},
+		&stubAPI{res: forged},
+		&stubAPI{failAll: true},
+	})
+	if _, err := bad.Result(); !errors.Is(err, bb.ErrNoMajority) {
+		t.Fatalf("divergent replies: err = %v, want ErrNoMajority", err)
+	}
+}
+
+// TestReaderVoteSetAcrossGobBoundary covers the generic (non-canonicalized)
+// majority path with a slice reply type round-tripped through gob.
+func TestReaderVoteSetAcrossGobBoundary(t *testing.T) {
+	set := []vc.VotedBallot{{Serial: 1, Code: []byte("abcd")}, {Serial: 3, Code: []byte("efgh")}}
+	decoded := gobRoundTrip(t, set)
+	reader := bb.NewReader([]bb.API{
+		&stubAPI{set: set},
+		&stubAPI{set: decoded},
+		&stubAPI{failAll: true},
+	})
+	got, err := reader.VoteSet()
+	if err != nil {
+		t.Fatalf("majority vote-set read: %v", err)
+	}
+	if len(got) != 2 || got[1].Serial != 3 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -163,15 +163,55 @@ func (n *Node) SubmitTrusteePost(p *TrusteePost) error {
 		return err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, dup := n.posts[p.Trustee]; dup {
-		return nil
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if prevHash, dup := n.postHash[p.Trustee]; dup {
+		// The first accepted post per trustee is pinned. A duplicate with a
+		// different signed payload is equivocation — rejected loudly, never
+		// silently swallowed — while a byte-identical resend is acked (and,
+		// under Strict, used to re-attempt a failed journal append).
+		if prevHash != hash {
+			n.metrics.PostEquivocations.Add(1)
+			n.metrics.PostsRejected.Add(1)
+			n.mu.Unlock()
+			return fmt.Errorf("%w: trustee %d equivocated on its post", ErrBadSubmission, p.Trustee)
+		}
+		stored := n.posts[p.Trustee]
+		needRec := n.journal != nil && !n.postDurable[p.Trustee]
+		n.mu.Unlock()
+		if !needRec {
+			return nil
+		}
+		return n.journalPost(stored)
 	}
 	n.posts[p.Trustee] = p
+	n.postHash[p.Trustee] = hash
 	n.shareIdx[p.Trustee] = idx
 	n.metrics.PostsAccepted.Add(1)
 	n.kickCombineLocked()
-	return nil
+	journaled := n.journal != nil
+	n.mu.Unlock()
+	if !journaled {
+		return nil
+	}
+	return n.journalPost(p)
+}
+
+// journalPost logs an accepted trustee post and settles the ack under the
+// node's policy. An encoding failure (cannot happen for ingress-validated
+// posts; defensive) is treated like an append failure.
+func (n *Node) journalPost(p *TrusteePost) error {
+	rec, err := encBBPost(p)
+	if err != nil {
+		n.metrics.JournalErrors.Add(1)
+		if n.strictJournal() {
+			return fmt.Errorf("bb: submission accepted but not journaled under strict policy: %w", err)
+		}
+		return nil
+	}
+	return n.journalSubmission(rec, func() { n.postDurable[p.Trustee] = true })
 }
 
 // combineKey addresses one row of one ballot part.

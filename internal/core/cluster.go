@@ -79,9 +79,10 @@ type Options struct {
 	// Workers sizes each VC node's message-processing pool.
 	Workers int
 	// DataDir, when set, gives every VC node a durable runtime-state
-	// journal (WAL + snapshot) under <DataDir>/vc-<i>, recovered at
-	// construction — the paper's crash-and-rejoin deployment property.
-	// RestartVC relaunches nodes from it in place.
+	// journal (WAL + snapshot) under <DataDir>/vc-<i> and every BB node
+	// one under <DataDir>/bb-<i>, recovered at construction — the paper's
+	// crash-and-rejoin deployment property. RestartVC and RestartBB
+	// relaunch nodes from them in place.
 	DataDir string
 	// Fsync makes journaled nodes sync before every ack instead of on the
 	// batched group-commit cadence.
@@ -118,6 +119,10 @@ type Cluster struct {
 	// workloads, phase drivers) may read the slice directly; anything that
 	// can race a restart goes through VC(i).
 	vcMu sync.RWMutex
+	// bbMu plays the same role for BBs against RestartBB. The Reader is
+	// built over forwarding handles (bbRef), so it always reaches the
+	// current incarnation without rebuilding.
+	bbMu sync.RWMutex
 
 	// PhaseDurations records the measured wall time of each completed
 	// phase, keyed by phase name (Fig. 5c).
@@ -183,16 +188,18 @@ func NewCluster(data *ea.ElectionData, opts Options) (*Cluster, error) {
 	// BB nodes (skipped in VC-only setups).
 	if data.BB != nil {
 		for i := 0; i < man.NumBB; i++ {
-			node, err := bb.NewNode(data.BB)
+			node, err := c.buildBB(i)
 			if err != nil {
-				return nil, fmt.Errorf("core: building bb %d: %w", i, err)
+				return nil, err
 			}
-			node.Lying = opts.LyingBB[i]
 			c.BBs = append(c.BBs, node)
 		}
+		// The Reader holds forwarding handles, not node pointers, so a
+		// majority read started after RestartBB reaches the recovered
+		// incarnation instead of the closed one.
 		apis := make([]bb.API, len(c.BBs))
-		for i, n := range c.BBs {
-			apis[i] = n
+		for i := range c.BBs {
+			apis[i] = bbRef{c: c, index: i}
 		}
 		c.Reader = bb.NewReader(apis)
 		for i := 0; i < man.NumTrustees; i++ {
@@ -270,12 +277,62 @@ func (c *Cluster) buildVC(i int) (*vc.Node, error) {
 	return node, nil
 }
 
+// buildBB constructs and, when DataDir is set, recovers BB node i from its
+// journal — shared by construction and in-place restart.
+func (c *Cluster) buildBB(i int) (*bb.Node, error) {
+	opts := c.opts
+	node, err := bb.NewNode(c.Data.BB)
+	if err != nil {
+		return nil, fmt.Errorf("core: building bb %d: %w", i, err)
+	}
+	node.Lying = opts.LyingBB[i]
+	if opts.DataDir != "" {
+		dir := filepath.Join(opts.DataDir, fmt.Sprintf("bb-%d", i))
+		jopts := vc.JournalOptions{
+			Fsync:         opts.Fsync,
+			SnapshotEvery: opts.SnapshotEvery,
+			Pool:          opts.JournalPool,
+			Policy:        opts.JournalPolicy,
+		}
+		if err := node.RecoverWithOptions(dir, jopts); err != nil {
+			return nil, fmt.Errorf("core: recovering bb %d: %w", i, err)
+		}
+	}
+	return node, nil
+}
+
 // VC returns the current incarnation of VC node i (restarts swap it).
 func (c *Cluster) VC(i int) *vc.Node {
 	c.vcMu.RLock()
 	defer c.vcMu.RUnlock()
 	return c.VCs[i]
 }
+
+// BB returns the current incarnation of BB node i (restarts swap it).
+func (c *Cluster) BB(i int) *bb.Node {
+	c.bbMu.RLock()
+	defer c.bbMu.RUnlock()
+	return c.BBs[i]
+}
+
+// bbSnapshot copies the current BB incarnations for iteration.
+func (c *Cluster) bbSnapshot() []*bb.Node {
+	c.bbMu.RLock()
+	defer c.bbMu.RUnlock()
+	return append([]*bb.Node(nil), c.BBs...)
+}
+
+// bbRef is a forwarding bb.API handle bound to a slot, not an incarnation.
+type bbRef struct {
+	c     *Cluster
+	index int
+}
+
+func (r bbRef) Manifest() (ea.Manifest, error)     { return r.c.BB(r.index).Manifest() }
+func (r bbRef) Init() (*ea.BBInit, error)          { return r.c.BB(r.index).Init() }
+func (r bbRef) VoteSet() ([]vc.VotedBallot, error) { return r.c.BB(r.index).VoteSet() }
+func (r bbRef) Cast() (*bb.CastData, error)        { return r.c.BB(r.index).Cast() }
+func (r bbRef) Result() (*bb.Result, error)        { return r.c.BB(r.index).Result() }
 
 // Stop shuts everything down.
 func (c *Cluster) Stop() {
@@ -284,6 +341,9 @@ func (c *Cluster) Stop() {
 	c.vcMu.RUnlock()
 	for _, n := range nodes {
 		n.Stop()
+	}
+	for _, n := range c.bbSnapshot() {
+		n.Close()
 	}
 	_ = c.Net.Close()
 }
@@ -320,6 +380,59 @@ func (c *Cluster) RestartVC(index int) error {
 	c.vcMu.Unlock()
 	return nil
 }
+
+// StopBB hard-stops a BB node: its combine worker halted, journal closed,
+// volatile state dropped — process death for the replicated service. With
+// DataDir set, RestartBB brings it back from its journal.
+func (c *Cluster) StopBB(index int) {
+	c.BB(index).Close()
+}
+
+// RestartBB relaunches a (typically stopped) BB node in place: a fresh
+// incarnation recovered from <DataDir>/bb-<i>'s snapshot + WAL, with the
+// combine worker re-kicked if the replayed posts already hold a publishable
+// subset. Without a DataDir the node comes back empty and must be re-fed.
+// The Reader's forwarding handle picks up the new incarnation immediately.
+func (c *Cluster) RestartBB(index int) error {
+	c.BB(index).Close() // idempotent if already stopped
+	node, err := c.buildBB(index)
+	if err != nil {
+		return err
+	}
+	c.bbMu.Lock()
+	c.BBs[index] = node
+	c.bbMu.Unlock()
+	return nil
+}
+
+// BBFaults returns the scenario fault surface addressing BB nodes, so
+// sim-driven schedules can kill and recover replicas of the bulletin board
+// the way the Cluster itself exposes VC faults. BB nodes never talk to each
+// other (the paper's no-cooperation replication model), so Partition is a
+// no-op, and Crash/Restore degrade to stop/restart — a BB replica has no
+// network identity to isolate in-process.
+func (c *Cluster) BBFaults() *BBFaultSurface { return &BBFaultSurface{c: c} }
+
+// BBFaultSurface implements sim.Surface and sim.Restarter over BB indices.
+type BBFaultSurface struct {
+	c *Cluster
+}
+
+// Crash implements sim.Surface; for BBs it is a hard stop.
+func (s *BBFaultSurface) Crash(index int) { s.c.StopBB(index) }
+
+// Restore implements sim.Surface; for BBs it is a journal recovery.
+func (s *BBFaultSurface) Restore(index int) { _ = s.c.RestartBB(index) }
+
+// Partition implements sim.Surface; BB nodes share no channels to cut.
+func (s *BBFaultSurface) Partition(a, b int, on bool) {}
+
+// StopNode implements sim.Restarter.
+func (s *BBFaultSurface) StopNode(index int) { s.c.StopBB(index) }
+
+// RestartNode implements sim.Restarter; a failed restart leaves the node
+// stopped (the scenario then observes a permanent crash).
+func (s *BBFaultSurface) RestartNode(index int) { _ = s.c.RestartBB(index) }
 
 // Crash implements sim.Surface (scenario-driven fault schedules).
 func (c *Cluster) Crash(index int) { c.CrashVC(index) }
@@ -422,13 +535,14 @@ func (c *Cluster) PushToBB(sets map[int][]vc.VotedBallot) error {
 	c.vcMu.RLock()
 	vcs := append([]*vc.Node(nil), c.VCs...)
 	c.vcMu.RUnlock()
+	bbs := c.bbSnapshot()
 	for i, n := range vcs {
 		set, ok := sets[i]
 		if !ok {
 			continue
 		}
 		sg := n.SignVoteSet(set)
-		for _, bnode := range c.BBs {
+		for _, bnode := range bbs {
 			if err := bnode.SubmitVoteSet(i, set, sg); err != nil {
 				return fmt.Errorf("core: vc %d pushing set: %w", i, err)
 			}
@@ -437,7 +551,7 @@ func (c *Cluster) PushToBB(sets map[int][]vc.VotedBallot) error {
 			}
 		}
 	}
-	for i, bnode := range c.BBs {
+	for i, bnode := range bbs {
 		if _, err := bnode.Cast(); err != nil {
 			return fmt.Errorf("core: bb %d did not publish cast data: %w", i, err)
 		}
@@ -450,13 +564,14 @@ func (c *Cluster) PushToBB(sets map[int][]vc.VotedBallot) error {
 // BB nodes to publish the combined result.
 func (c *Cluster) RunTrustees() error {
 	start := time.Now()
+	bbs := c.bbSnapshot()
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.Trustees))
 	for i, tr := range c.Trustees {
 		wg.Add(1)
 		go func(i int, tr *trustee.Trustee) {
 			defer wg.Done()
-			errs[i] = tr.PublishTo(c.Reader, c.BBs)
+			errs[i] = tr.PublishTo(c.Reader, bbs)
 		}(i, tr)
 	}
 	wg.Wait()
@@ -471,7 +586,11 @@ func (c *Cluster) RunTrustees() error {
 	// node without a valid subset).
 	waitCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	for i, bnode := range c.BBs {
+	for i := range bbs {
+		// Re-resolve the slot at wait time: a replica restarted while the
+		// trustees were posting is awaited on its recovered incarnation, not
+		// the closed one (whose result channel would never fire).
+		bnode := c.BB(i)
 		if bnode.Lying {
 			continue
 		}

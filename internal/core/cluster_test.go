@@ -443,8 +443,10 @@ func TestMajorityReaderDefeatsLyingBB(t *testing.T) {
 	wantCounts(t, res, []int64{2, 1, 0})
 
 	// Reading the lying node directly shows corrupted data — proving the
-	// majority reader did real work.
-	direct, err := c.BBs[1].Result()
+	// majority reader did real work. Wait for its publish first: RunTrustees
+	// deliberately skips lying nodes, so a direct read races the node's
+	// background combine worker.
+	direct, err := c.BBs[1].WaitResult(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

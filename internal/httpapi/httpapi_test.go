@@ -142,6 +142,82 @@ func TestHTTPDeploymentEndToEnd(t *testing.T) {
 	}
 }
 
+// TestMixedLocalAndHTTPReaderMajority is the transport-level regression
+// test for the reader bucketing fix: a Reader over one in-process node and
+// one HTTP client serving the *same* replica state must count the two
+// replies as agreeing even though the HTTP reply's big.Ints went through a
+// gob decode (which normalizes zero values to a representation
+// reflect.DeepEqual distinguishes from arithmetic results). With the third
+// replica down, fb+1 = 2 identical replies are required — before the fix
+// this exact deployment shape spuriously returned ErrNoMajority.
+func TestMixedLocalAndHTTPReaderMajority(t *testing.T) {
+	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
+	data, err := ea.Setup(ea.Params{
+		ElectionID:  "mixed-reader-test",
+		Options:     []string{"yes", "no"},
+		NumBallots:  3,
+		NumVC:       4,
+		NumBB:       3,
+		NumTrustees: 3,
+		VotingStart: start,
+		VotingEnd:   start.Add(time.Hour),
+		Seed:        []byte("mixed-reader-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := sim.New(sim.Config{Start: start.Add(time.Minute)})
+	cluster, err := core.NewCluster(data, core.Options{Sim: drv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	stopSim := drv.Spin()
+	defer stopSim()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var services []voter.Service
+	for _, n := range cluster.VCs {
+		services = append(services, n)
+	}
+	// Everyone votes "yes": the "no" tally is a computed zero, the exact
+	// value whose in-memory and gob-decoded representations diverge.
+	for i := 0; i < 3; i++ {
+		cl := &voter.Client{Ballot: data.Ballots[i], Services: services, Patience: 10 * time.Second}
+		if _, err := cl.Cast(ctx, 0); err != nil {
+			t.Fatalf("voter %d: %v", i, err)
+		}
+	}
+	if _, err := cluster.RunPipeline(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(BBHandler(cluster.BBs[1]))
+	defer srv.Close()
+	dead := httptest.NewServer(BBHandler(cluster.BBs[2]))
+	dead.Close() // connection refused: the "down replica" of the triple
+
+	mixed := bb.NewReader([]bb.API{
+		cluster.BBs[0],
+		&BBClient{BaseURL: srv.URL},
+		&BBClient{BaseURL: dead.URL},
+	})
+	res, err := mixed.Result()
+	if err != nil {
+		t.Fatalf("mixed local/HTTP majority read: %v", err)
+	}
+	if res.Counts[0] != 3 || res.Counts[1] != 0 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+	if _, err := mixed.VoteSet(); err != nil {
+		t.Fatalf("mixed vote-set read: %v", err)
+	}
+	if _, err := mixed.Cast(); err != nil {
+		t.Fatalf("mixed cast read: %v", err)
+	}
+}
+
 func TestGobFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "manifest.gob")
 	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)

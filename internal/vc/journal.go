@@ -759,6 +759,15 @@ func journalLaneOf(serial uint64, lanes int) int {
 	return int(serial % uint64(lanes)) //nolint:gosec // lanes is small
 }
 
+// JournalKeyLane routes an 8-byte record routing key to its WAL lane — the
+// same hash PooledJournal applies to bytes [1,9) of every appended record.
+// Exported for other subsystems that journal through JournalBackend (the BB
+// replica), whose StateSource must produce each lane's snapshot with the
+// routing the pooled engine used for the corresponding appends.
+func JournalKeyLane(key uint64, lanes int) int {
+	return journalLaneOf(key, lanes)
+}
+
 // journalRecLane routes an encoded record to its WAL lane: per-ballot
 // records hash by the serial at bytes [1,9); the vote-set-consensus record
 // (no serial) always lands in lane 0.
