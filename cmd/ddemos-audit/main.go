@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,9 +25,10 @@ func main() {
 	if *bbS == "" {
 		log.Fatal("-bb is required")
 	}
+	ctx := context.Background()
 	var apis []bb.API
 	for _, base := range strings.Split(*bbS, ",") {
-		apis = append(apis, &httpapi.BBClient{BaseURL: base})
+		apis = append(apis, (&httpapi.BBClient{BaseURL: base}).API(ctx))
 	}
 	reader := bb.NewReader(apis)
 	report, err := auditor.Audit(reader, nil)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,11 +36,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	var apis []bb.API
 	var clients []*httpapi.BBClient
 	for _, base := range strings.Split(*bbS, ",") {
 		c := &httpapi.BBClient{BaseURL: base}
-		apis = append(apis, c)
+		apis = append(apis, c.API(ctx))
 		clients = append(clients, c)
 	}
 	reader := bb.NewReader(apis)
@@ -54,7 +56,7 @@ func main() {
 		time.Sleep(*wait)
 	}
 	for _, c := range clients {
-		if err := c.SubmitTrusteePost(post); err != nil {
+		if err := c.SubmitTrusteePost(ctx, post); err != nil {
 			log.Printf("post to %s: %v", c.BaseURL, err)
 			continue
 		}

@@ -206,11 +206,11 @@ func main() {
 			continue
 		}
 		client := &httpapi.BBClient{BaseURL: base}
-		if err := client.SubmitVoteSet(init.Index, set, sg); err != nil {
+		if err := client.SubmitVoteSet(ctx, init.Index, set, sg); err != nil {
 			log.Printf("push to %s: %v", base, err)
 			continue
 		}
-		if err := client.SubmitMskShare(node.MskShare()); err != nil {
+		if err := client.SubmitMskShare(ctx, node.MskShare()); err != nil {
 			log.Printf("msk share to %s: %v", base, err)
 			continue
 		}

@@ -58,7 +58,7 @@ func main() {
 	if *verify {
 		var apis []bb.API
 		for _, base := range strings.Split(*bbS, ",") {
-			apis = append(apis, &httpapi.BBClient{BaseURL: base})
+			apis = append(apis, (&httpapi.BBClient{BaseURL: base}).API(context.Background()))
 		}
 		reader := bb.NewReader(apis)
 		code, err := ballot.ParseCode(*codeS)

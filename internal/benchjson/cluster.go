@@ -1,0 +1,95 @@
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Cluster-level metric schema: the names ddemos-loadgen and the
+// ddemos-cluster orchestrator stamp into their Rows, fixed here so the
+// dashboard, the history chain and any future baseline entries agree on
+// them. Latencies are milliseconds (benchmark rows are unit-suffixed
+// float metrics, and ms keeps cluster numbers readable next to the
+// in-process benches' ns/op).
+const (
+	// MetricTargetRate is the configured open-loop send rate (ops/sec).
+	MetricTargetRate = "target/sec"
+	// MetricVotesPerSec is the achieved successful-receipt throughput.
+	MetricVotesPerSec = "votes/sec"
+	// MetricP50Ms / MetricP99Ms / MetricP999Ms / MetricMaxMs are receipt
+	// latencies measured against the scheduled send time (coordinated-
+	// omission-corrected), in milliseconds.
+	MetricP50Ms  = "p50-ms"
+	MetricP99Ms  = "p99-ms"
+	MetricP999Ms = "p999-ms"
+	MetricMaxMs  = "max-ms"
+	// MetricSent / MetricErrors / MetricSkipped count scheduled operations
+	// by outcome.
+	MetricSent    = "sent"
+	MetricErrors  = "errors"
+	MetricSkipped = "skipped"
+	// MetricSchedLagMs is the generator's own worst pickup lateness — if
+	// it rivals the tail, the generator (not the cluster) was saturated.
+	MetricSchedLagMs = "sched-lag-ms"
+	// MetricDistinctSerials is how many distinct ballot serials the run
+	// voted (revotes past the pool are idempotent): with zero errors the
+	// published tally must sum to exactly this.
+	MetricDistinctSerials = "distinct-serials"
+	// MetricConsensusPushSec and MetricPublishSec are the post-voting
+	// phase durations the orchestrator observes from outside: election
+	// end to the last VC's exit (vote-set consensus + BB push), and from
+	// there to a majority-readable published Result.
+	MetricConsensusPushSec = "consensus-push-sec"
+	MetricPublishSec       = "publish-sec"
+	// MetricChurnRestarts counts mid-run process restarts in -churn mode.
+	MetricChurnRestarts = "churn-restarts"
+)
+
+// Ms converts a duration to the milliseconds float the cluster metrics use.
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ReadReport parses a single Report JSON document, the format WriteReport
+// emits and the cluster tools write with -out.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("benchjson: report: %w", err)
+	}
+	if len(rep.Rows) == 0 {
+		return Report{}, fmt.Errorf("benchjson: report holds no rows")
+	}
+	return rep, nil
+}
+
+// ParseAny reads either `go test -bench` text output or a Report JSON
+// document, sniffed by the first non-space byte — so ddemos-benchjson -in
+// accepts the in-process benches and the cluster harness artifacts
+// uniformly. Text input yields a Report with empty Date/Go for the caller
+// to stamp.
+func ParseAny(r io.Reader) (Report, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return Report{}, fmt.Errorf("benchjson: empty input")
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return Report{}, err
+		}
+		if b == '{' {
+			return ReadReport(br)
+		}
+		rows, err := Parse(br)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Rows: rows}, nil
+	}
+}

@@ -1,0 +1,116 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func clusterReport() Report {
+	return Report{
+		Date: "2026-08-07",
+		Go:   "go1.22",
+		Rows: []Row{{
+			Benchmark:  "ClusterLoad/vc=3/rate=500",
+			Iterations: 30000,
+			Metrics: map[string]float64{
+				MetricTargetRate:  500,
+				MetricVotesPerSec: 498.2,
+				MetricP50Ms:       3.1,
+				MetricP99Ms:       18.4,
+				MetricP999Ms:      41.0,
+				MetricErrors:      0,
+			},
+		}},
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, clusterReport()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != "2026-08-07" || len(got.Rows) != 1 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Rows[0].Metrics[MetricP999Ms] != 41.0 {
+		t.Fatalf("metrics mangled: %+v", got.Rows[0].Metrics)
+	}
+}
+
+func TestParseAnySniffsJSONAndBenchText(t *testing.T) {
+	// JSON (with leading whitespace, as an editor might leave it).
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, clusterReport()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseAny(strings.NewReader("\n  " + buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Date != "2026-08-07" || rep.Rows[0].Benchmark != "ClusterLoad/vc=3/rate=500" {
+		t.Fatalf("json path mangled: %+v", rep)
+	}
+
+	// Bench text.
+	rep, err = ParseAny(strings.NewReader(
+		"goos: linux\nBenchmarkFig5b/m=4-8 \t 1 \t 123456 ns/op \t 900.5 votes/sec\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Date != "" || len(rep.Rows) != 1 || rep.Rows[0].Benchmark != "BenchmarkFig5b/m=4" {
+		t.Fatalf("text path mangled: %+v", rep)
+	}
+
+	// Garbage.
+	if _, err := ParseAny(strings.NewReader("   ")); err == nil {
+		t.Fatal("blank input must fail")
+	}
+	if _, err := ParseAny(strings.NewReader("{not json")); err == nil {
+		t.Fatal("broken json must fail")
+	}
+}
+
+// TestClusterReportFeedsHistoryAndDashboard pins the acceptance contract:
+// a loadgen-written Report appends to a history chain and renders in the
+// dashboard like any in-process bench run.
+func TestClusterReportFeedsHistoryAndDashboard(t *testing.T) {
+	var chain bytes.Buffer
+	if err := AppendHistory(&chain, clusterReport()); err != nil {
+		t.Fatal(err)
+	}
+	second := clusterReport()
+	second.Date = "2026-08-08"
+	second.Rows[0].Metrics[MetricVotesPerSec] = 502.7
+	if err := AppendHistory(&chain, second); err != nil {
+		t.Fatal(err)
+	}
+	history, err := ReadHistory(&chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history = %d runs", len(history))
+	}
+	var md bytes.Buffer
+	if err := WriteDashboard(&md, history, Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	for _, want := range []string{"ClusterLoad/vc=3/rate=500", MetricVotesPerSec, MetricP999Ms} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); got != 1.5 {
+		t.Fatalf("Ms = %v", got)
+	}
+}

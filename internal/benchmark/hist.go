@@ -1,0 +1,121 @@
+package benchmark
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histSubBits picks 32 log-linear sub-buckets per power of two: worst-case
+// quantile error ~3%, the HDR-histogram precision class, at a fixed 1920
+// buckets covering 1ns through ~290 years. Fixed buckets mean Record is one
+// atomic add — safe to call from hundreds of load-generator workers with no
+// lock and no allocation.
+const (
+	histSubBits   = 5
+	histSubCount  = 1 << histSubBits
+	histNumBucket = (64 - histSubBits) * histSubCount
+)
+
+// Histogram is a concurrency-safe HDR-style latency histogram; the zero
+// value is ready to use.
+type Histogram struct {
+	counts [histNumBucket]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative duration (ns) to its bucket: identity
+// below histSubCount, then histSubBits significant bits per octave.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // position of the leading 1, >= histSubBits
+	shift := uint(e - histSubBits)
+	sub := (u >> shift) & (histSubCount - 1)
+	return (e-histSubBits+1)*histSubCount + int(sub)
+}
+
+// bucketUpper is the inclusive upper edge of bucket idx — quantiles report
+// this edge, so they never understate a latency.
+func bucketUpper(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	block := idx / histSubCount
+	sub := uint64(idx % histSubCount)
+	e := uint(block + histSubBits - 1)
+	shift := e - histSubBits
+	base := uint64(1) << e
+	return int64(base + (sub << shift) + (uint64(1) << shift) - 1) //nolint:gosec // < 2^63
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of the recorded observations.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Quantile returns the latency at quantile q in [0,1] (bucket upper edge,
+// exact max for q=1). Concurrent Records move the answer but never corrupt
+// it; call after the run for stable numbers.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histNumBucket; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return h.Max()
+}

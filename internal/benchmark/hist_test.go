@@ -1,0 +1,103 @@
+package benchmark
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactBelowSubCount(t *testing.T) {
+	h := NewHistogram()
+	for v := 0; v < histSubCount; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != histSubCount {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Every value below histSubCount has its own bucket: quantiles are
+	// exact there.
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := h.Quantile(1); got != histSubCount-1 {
+		t.Fatalf("q1 = %v", got)
+	}
+}
+
+func TestHistogramBucketsContiguousAndBounded(t *testing.T) {
+	// Walk a dense range of values and check the bucket invariants: the
+	// index is monotone non-decreasing and the upper edge always covers
+	// the value within the ~2^-histSubBits relative error bound.
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		if v >= histSubCount {
+			if maxErr := v + v/histSubCount + 1; up > maxErr {
+				t.Fatalf("bucketUpper(%d) = %d overshoots %d (bound %d)", idx, up, v, maxErr)
+			}
+		}
+	}
+	// Spot-check the large end: the top of the int64 range must not wrap.
+	big := int64(1) << 62
+	if up := bucketUpper(bucketIndex(big)); up < big {
+		t.Fatalf("big value %d mapped to upper %d", big, up)
+	}
+}
+
+func TestHistogramQuantilesOfKnownDistribution(t *testing.T) {
+	h := NewHistogram()
+	// 1000 samples: 990 at ~1ms, 10 at ~100ms.
+	for i := 0; i < 990; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.50); p50 < time.Millisecond || p50 > time.Millisecond+time.Millisecond/16 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v (the 990th of 1000 sorted samples is still 1ms)", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 < 100*time.Millisecond || p999 > 104*time.Millisecond {
+		t.Fatalf("p999 = %v", p999)
+	}
+	if max := h.Max(); max != 100*time.Millisecond {
+		t.Fatalf("max = %v", max)
+	}
+	if mean := h.Mean(); mean < 1900*time.Microsecond || mean > 2100*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 10000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 7))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int64N(int64(time.Second))))
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > time.Second+time.Second/16 {
+		t.Fatalf("p50 = %v out of range", q)
+	}
+}

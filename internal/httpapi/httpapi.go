@@ -2,6 +2,20 @@
 // deployments: the VC voter-facing endpoint (a plain POST — voters need no
 // special software, §I), the BB read/write API, and the gob encoding of
 // initialization payloads the ddemos-ea tool writes to disk.
+//
+// # API versioning
+//
+// Every route lives under /v1/. The unversioned paths the first release
+// shipped remain registered as aliases of their /v1/ twins for one release
+// and then go away; new clients and deployments must use /v1/. The one
+// deliberate exception is the BB's unversioned GET /metrics, which keeps
+// its legacy gob body for old scrapers while GET /v1/metrics serves JSON —
+// the format both roles' metrics endpoints share, so operators and the
+// load generator scrape VC and BB nodes uniformly.
+//
+// Errors are a uniform JSON envelope {code, message} (ErrorEnvelope) on
+// every endpoint; clients surface them as typed *APIError values and
+// branch on the code, never on message text.
 package httpapi
 
 import (
@@ -12,10 +26,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
-	"sync"
 	"time"
 
 	"ddemos/internal/bb"
@@ -49,6 +61,13 @@ func ReadGobFile(path string, v any) error {
 	return nil
 }
 
+// handleBoth registers h under the versioned path and its unversioned
+// alias (kept for one release; see the package comment).
+func handleBoth(mux *http.ServeMux, method, path string, h http.HandlerFunc) {
+	mux.HandleFunc(method+" /v1"+path, h)
+	mux.HandleFunc(method+" "+path, h)
+}
+
 // --- VC voter endpoint -----------------------------------------------------
 
 // VoteRequest is the voter-facing JSON body: a serial number and a hex vote
@@ -58,154 +77,104 @@ type VoteRequest struct {
 	Code   string `json:"code"`
 }
 
-// VoteResponse returns the hex receipt.
+// VoteResponse returns the hex receipt. Errors arrive as an ErrorEnvelope
+// with a non-2xx status instead.
 type VoteResponse struct {
-	Receipt string `json:"receipt,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Receipt string `json:"receipt"`
 }
 
-// VCHandler serves the public voting endpoint for a VC node.
+// VCHandler serves the public API of a VC node: POST /v1/vote for voters
+// and GET /v1/metrics for operators and the load harness (journal, store
+// and per-phase timing counters from vc.Snapshot, as JSON — parity with
+// the BB handler, so both roles scrape uniformly).
 func VCHandler(node *vc.Node) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /vote", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, http.MethodPost, "/vote", func(w http.ResponseWriter, r *http.Request) {
 		var req VoteRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, VoteResponse{Error: "malformed request"})
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed request")
 			return
 		}
 		code, err := hex.DecodeString(req.Code)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, VoteResponse{Error: "malformed vote code"})
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed vote code")
 			return
 		}
 		receipt, err := node.SubmitVote(r.Context(), req.Serial, code)
 		if err != nil {
-			writeJSON(w, http.StatusConflict, VoteResponse{Error: err.Error()})
+			writeError(w, http.StatusConflict, CodeVoteRejected, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, VoteResponse{Receipt: hex.EncodeToString(receipt)})
 	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := node.Metrics()
+		writeJSON(w, http.StatusOK, &s)
+	})
 	return mux
 }
 
-// Timeouts separates connection establishment from whole-request deadlines.
-// A recovering or restarting node should fail fast at dial time (so clients
-// rotate to a live node) while still allowing a slow-but-progressing
-// request its full budget; a single flat client timeout cannot express
-// that, and retries against a dead node then pile up for the whole flat
-// window.
-type Timeouts struct {
-	// Dial bounds TCP connection establishment (default 3s for VC voting,
-	// 5s for BB reads).
-	Dial time.Duration
-	// Request bounds the whole request including body (default 30s for VC
-	// voting, 60s for BB reads); a caller context with an earlier deadline
-	// wins.
-	Request time.Duration
-}
-
-func (t Timeouts) withDefaults(dial, request time.Duration) Timeouts {
-	if t.Dial <= 0 {
-		t.Dial = dial
-	}
-	if t.Request <= 0 {
-		t.Request = request
-	}
-	return t
-}
-
-// newHTTPClient builds a client with a dedicated dial timeout; the overall
-// deadline rides on each request's context instead of client.Timeout, so
-// caller contexts compose. Built once per VCClient/BBClient (not per
-// request): the transport owns the keep-alive connection pool, and a fresh
-// transport every call would strand one idle connection per request.
-func newHTTPClient(dial time.Duration) *http.Client {
-	return &http.Client{
-		Transport: &http.Transport{
-			DialContext:         (&net.Dialer{Timeout: dial}).DialContext,
-			TLSHandshakeTimeout: dial,
-			MaxIdleConnsPerHost: 4,
-			IdleConnTimeout:     90 * time.Second,
-		},
-	}
-}
-
-// requestCtx bounds ctx by the request timeout (an earlier caller deadline
-// wins).
-func requestCtx(ctx context.Context, request time.Duration) (context.Context, context.CancelFunc) {
-	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < request {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, request)
-}
-
-// VCClient is a voter.Service over HTTP.
+// VCClient is a voter.Service over HTTP, built on the shared client core:
+// context on every method, the two-deadline Timeouts model, and the
+// process-shared tuned transport (unless HTTP or Timeouts.Dial overrides
+// it).
 type VCClient struct {
 	BaseURL string
 	// HTTP overrides the transport entirely (Timeouts.Dial then unused).
 	HTTP *http.Client
-	// Timeouts tunes dial vs whole-request deadlines (zero = defaults).
+	// Timeouts tunes dial vs whole-request deadlines (zero = defaults:
+	// DefaultDialTimeout dial on the shared pool, 30s request).
 	Timeouts Timeouts
 
-	clientOnce sync.Once
-	client     *http.Client
+	core clientCore
 }
+
+const vcDefaultRequest = 30 * time.Second
 
 // SubmitVote implements voter.Service.
 func (c *VCClient) SubmitVote(ctx context.Context, serial uint64, code []byte) ([]byte, error) {
-	to := c.Timeouts.withDefaults(3*time.Second, 30*time.Second)
-	ctx, cancel := requestCtx(ctx, to.Request)
-	defer cancel()
 	body, err := json.Marshal(VoteRequest{Serial: serial, Code: hex.EncodeToString(code)})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/vote", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient(to).Do(req)
+	resp, cancel, err := c.core.do(ctx, c.HTTP, c.Timeouts, vcDefaultRequest,
+		http.MethodPost, c.BaseURL+"/v1/vote", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: vote: %w", err)
 	}
+	defer cancel()
 	defer func() { _ = resp.Body.Close() }()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: vote response: %w", err)
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
 	}
 	var vr VoteResponse
-	if err := json.Unmarshal(respBody, &vr); err != nil {
-		// Non-JSON bodies (proxy errors, 404 pages) get surfaced verbatim
-		// instead of as a confusing unmarshal error.
-		return nil, fmt.Errorf("httpapi: vote response %s: %q", resp.Status, bytes.TrimSpace(respBody))
-	}
-	if vr.Error != "" {
-		return nil, fmt.Errorf("httpapi: vc: %s", vr.Error)
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&vr); err != nil {
+		return nil, fmt.Errorf("httpapi: vote response: %w", err)
 	}
 	return hex.DecodeString(vr.Receipt)
 }
 
-func (c *VCClient) httpClient(to Timeouts) *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
+// Metrics fetches the node's operational counters from GET /v1/metrics.
+func (c *VCClient) Metrics(ctx context.Context) (*vc.Snapshot, error) {
+	var s vc.Snapshot
+	if err := c.core.getJSON(ctx, c.HTTP, c.Timeouts, vcDefaultRequest, c.BaseURL+"/v1/metrics", &s); err != nil {
+		return nil, err
 	}
-	c.clientOnce.Do(func() { c.client = newHTTPClient(to.Dial) })
-	return c.client
+	return &s, nil
 }
 
 // --- BB read/write API -------------------------------------------------------
 
 // BBHandler serves a BB node: gob-encoded reads on public paths, verified
 // writes (the submissions carry their own signatures; the BB node verifies
-// them, §III-G).
+// them, §III-G), and JSON metrics on GET /v1/metrics.
 func BBHandler(node *bb.Node) http.Handler {
 	mux := http.NewServeMux()
 	serve := func(path string, get func() (any, error)) {
-		mux.HandleFunc("GET "+path, func(w http.ResponseWriter, r *http.Request) {
+		handleBoth(mux, http.MethodGet, path, func(w http.ResponseWriter, r *http.Request) {
 			v, err := get()
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusNotFound)
+				writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 				return
 			}
 			w.Header().Set("Content-Type", "application/octet-stream")
@@ -217,206 +186,183 @@ func BBHandler(node *bb.Node) http.Handler {
 	serve("/voteset", func() (any, error) { return node.VoteSet() })
 	serve("/cast", func() (any, error) { return node.Cast() })
 	serve("/result", func() (any, error) { return node.Result() })
-	serve("/metrics", func() (any, error) { s := node.Metrics(); return &s, nil })
 
-	mux.HandleFunc("POST /submit/voteset", func(w http.ResponseWriter, r *http.Request) {
+	// Metrics: /v1/metrics is JSON (the uniform scrape format shared with
+	// the VC handler); the unversioned /metrics keeps the legacy gob body
+	// for pre-v1 scrapers — the one alias that is not byte-identical.
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := node.Metrics()
+		writeJSON(w, http.StatusOK, &s)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := node.Metrics()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_ = gob.NewEncoder(w).Encode(&s)
+	})
+
+	submit := func(path string, accept func(r *http.Request) error) {
+		handleBoth(mux, http.MethodPost, path, func(w http.ResponseWriter, r *http.Request) {
+			if err := accept(r); err != nil {
+				code, status := CodeBadSubmission, http.StatusBadRequest
+				if _, ok := err.(gobDecodeError); ok {
+					code = CodeBadRequest
+				}
+				writeError(w, status, code, err.Error())
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+	}
+	submit("/submit/voteset", func(r *http.Request) error {
 		var sub VoteSetSubmission
 		if err := gob.NewDecoder(r.Body).Decode(&sub); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return gobDecodeError{err}
 		}
-		if err := node.SubmitVoteSet(sub.VCIndex, sub.Set, sub.Sig); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
+		return node.SubmitVoteSet(sub.VCIndex, sub.Set, sub.Sig)
 	})
-	mux.HandleFunc("POST /submit/mskshare", func(w http.ResponseWriter, r *http.Request) {
+	submit("/submit/mskshare", func(r *http.Request) error {
 		var share ea.MskShare
 		if err := gob.NewDecoder(r.Body).Decode(&share); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return gobDecodeError{err}
 		}
-		if err := node.SubmitMskShare(share); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
+		return node.SubmitMskShare(share)
 	})
-	mux.HandleFunc("POST /submit/trusteepost", func(w http.ResponseWriter, r *http.Request) {
+	submit("/submit/trusteepost", func(r *http.Request) error {
 		var post bb.TrusteePost
 		if err := gob.NewDecoder(r.Body).Decode(&post); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return gobDecodeError{err}
 		}
-		if err := node.SubmitTrusteePost(&post); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
+		return node.SubmitTrusteePost(&post)
 	})
 	return mux
 }
 
-// VoteSetSubmission is the gob body of /submit/voteset.
+// gobDecodeError marks an undecodable submission body, so the handler maps
+// it to CodeBadRequest instead of CodeBadSubmission.
+type gobDecodeError struct{ err error }
+
+func (e gobDecodeError) Error() string { return e.err.Error() }
+func (e gobDecodeError) Unwrap() error { return e.err }
+
+// VoteSetSubmission is the gob body of /v1/submit/voteset.
 type VoteSetSubmission struct {
 	VCIndex int
 	Set     []vc.VotedBallot
 	Sig     []byte
 }
 
-// BBClient implements bb.API over HTTP, so bb.Reader (the majority reader)
-// works transparently against remote nodes. Every request is context-aware
-// (Ctx bounds all calls; bb.API itself is context-free) with separate dial
-// and whole-request deadlines, so election-end pushes retried against a
-// restarting node fail fast instead of piling up.
+// BBClient is the BB node client over HTTP, built on the shared client
+// core: every method takes a context.Context, with the two-deadline
+// Timeouts model and the process-shared tuned transport. The context-free
+// bb.API view the majority reader consumes is obtained with API(ctx).
 type BBClient struct {
 	BaseURL string
 	// HTTP overrides the transport entirely (Timeouts.Dial then unused).
 	HTTP *http.Client
-	// Timeouts tunes dial vs whole-request deadlines (zero = defaults).
+	// Timeouts tunes dial vs whole-request deadlines (zero = defaults:
+	// DefaultDialTimeout dial on the shared pool, 60s request).
 	Timeouts Timeouts
-	// Ctx, when set, bounds every request (bb.API methods take no context).
-	Ctx context.Context
 
-	clientOnce sync.Once
-	client     *http.Client
+	core clientCore
 }
 
-var _ bb.API = (*BBClient)(nil)
+const bbDefaultRequest = 60 * time.Second
 
-func (c *BBClient) baseCtx() context.Context {
-	if c.Ctx != nil {
-		return c.Ctx
-	}
-	return context.Background()
+func (c *BBClient) get(ctx context.Context, path string, v any) error {
+	return c.core.getGob(ctx, c.HTTP, c.Timeouts, bbDefaultRequest, c.BaseURL+path, v)
 }
 
-func (c *BBClient) httpClient(to Timeouts) *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
-	}
-	c.clientOnce.Do(func() { c.client = newHTTPClient(to.Dial) })
-	return c.client
+func (c *BBClient) post(ctx context.Context, path string, v any) error {
+	return c.core.postGob(ctx, c.HTTP, c.Timeouts, bbDefaultRequest, c.BaseURL+path, v)
 }
 
-func (c *BBClient) do(method, path, contentType string, body io.Reader) (*http.Response, context.CancelFunc, error) {
-	to := c.Timeouts.withDefaults(5*time.Second, 60*time.Second)
-	ctx, cancel := requestCtx(c.baseCtx(), to.Request)
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		cancel()
-		return nil, nil, err
-	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := c.httpClient(to).Do(req)
-	if err != nil {
-		cancel()
-		return nil, nil, err
-	}
-	return resp, cancel, nil
-}
-
-func (c *BBClient) get(path string, v any) error {
-	resp, cancel, err := c.do(http.MethodGet, path, "", nil)
-	if err != nil {
-		return fmt.Errorf("httpapi: get %s: %w", path, err)
-	}
-	defer cancel()
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("httpapi: get %s: %s (%s)", path, resp.Status, bytes.TrimSpace(msg))
-	}
-	return gob.NewDecoder(resp.Body).Decode(v)
-}
-
-func (c *BBClient) post(path string, v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return err
-	}
-	resp, cancel, err := c.do(http.MethodPost, path, "application/octet-stream", &buf)
-	if err != nil {
-		return fmt.Errorf("httpapi: post %s: %w", path, err)
-	}
-	defer cancel()
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("httpapi: post %s: %s (%s)", path, resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
-}
-
-// Manifest implements bb.API.
-func (c *BBClient) Manifest() (ea.Manifest, error) {
+// Manifest fetches the election manifest.
+func (c *BBClient) Manifest(ctx context.Context) (ea.Manifest, error) {
 	var m ea.Manifest
-	err := c.get("/manifest", &m)
+	err := c.get(ctx, "/v1/manifest", &m)
 	return m, err
 }
 
-// Init implements bb.API.
-func (c *BBClient) Init() (*ea.BBInit, error) {
+// Init fetches the BB initialization data.
+func (c *BBClient) Init(ctx context.Context) (*ea.BBInit, error) {
 	var v ea.BBInit
-	if err := c.get("/init", &v); err != nil {
+	if err := c.get(ctx, "/v1/init", &v); err != nil {
 		return nil, err
 	}
 	return &v, nil
 }
 
-// VoteSet implements bb.API.
-func (c *BBClient) VoteSet() ([]vc.VotedBallot, error) {
+// VoteSet fetches the agreed vote set.
+func (c *BBClient) VoteSet(ctx context.Context) ([]vc.VotedBallot, error) {
 	var v []vc.VotedBallot
-	err := c.get("/voteset", &v)
+	err := c.get(ctx, "/v1/voteset", &v)
 	return v, err
 }
 
-// Cast implements bb.API.
-func (c *BBClient) Cast() (*bb.CastData, error) {
+// Cast fetches the published cast data.
+func (c *BBClient) Cast(ctx context.Context) (*bb.CastData, error) {
 	var v bb.CastData
-	if err := c.get("/cast", &v); err != nil {
+	if err := c.get(ctx, "/v1/cast", &v); err != nil {
 		return nil, err
 	}
 	return &v, nil
 }
 
-// Result implements bb.API.
-func (c *BBClient) Result() (*bb.Result, error) {
+// Result fetches the published result.
+func (c *BBClient) Result(ctx context.Context) (*bb.Result, error) {
 	var v bb.Result
-	if err := c.get("/result", &v); err != nil {
+	if err := c.get(ctx, "/v1/result", &v); err != nil {
 		return nil, err
 	}
 	return &v, nil
 }
 
 // Metrics fetches the node's operational counters (publish-phase ingress
-// and combine statistics). Not part of bb.API: it is operator tooling, not
-// election data.
-func (c *BBClient) Metrics() (*bb.Snapshot, error) {
-	var v bb.Snapshot
-	if err := c.get("/metrics", &v); err != nil {
+// and combine statistics) from GET /v1/metrics. Not part of bb.API: it is
+// operator tooling, not election data.
+func (c *BBClient) Metrics(ctx context.Context) (*bb.Snapshot, error) {
+	var s bb.Snapshot
+	if err := c.core.getJSON(ctx, c.HTTP, c.Timeouts, bbDefaultRequest, c.BaseURL+"/v1/metrics", &s); err != nil {
 		return nil, err
 	}
-	return &v, nil
+	return &s, nil
 }
 
 // SubmitVoteSet pushes a VC node's final set.
-func (c *BBClient) SubmitVoteSet(vcIndex int, set []vc.VotedBallot, sig []byte) error {
-	return c.post("/submit/voteset", &VoteSetSubmission{VCIndex: vcIndex, Set: set, Sig: sig})
+func (c *BBClient) SubmitVoteSet(ctx context.Context, vcIndex int, set []vc.VotedBallot, sig []byte) error {
+	return c.post(ctx, "/v1/submit/voteset", &VoteSetSubmission{VCIndex: vcIndex, Set: set, Sig: sig})
 }
 
 // SubmitMskShare pushes a VC node's master-key share.
-func (c *BBClient) SubmitMskShare(share ea.MskShare) error {
-	return c.post("/submit/mskshare", &share)
+func (c *BBClient) SubmitMskShare(ctx context.Context, share ea.MskShare) error {
+	return c.post(ctx, "/v1/submit/mskshare", &share)
 }
 
 // SubmitTrusteePost pushes a trustee post.
-func (c *BBClient) SubmitTrusteePost(post *bb.TrusteePost) error {
-	return c.post("/submit/trusteepost", post)
+func (c *BBClient) SubmitTrusteePost(ctx context.Context, post *bb.TrusteePost) error {
+	return c.post(ctx, "/v1/submit/trusteepost", post)
 }
+
+// API binds ctx to the client and returns the context-free bb.API view
+// that bb.Reader (and everything else written against bb.API) consumes.
+// The bound context caps every call made through the view — the replacement
+// for the removed Ctx field.
+func (c *BBClient) API(ctx context.Context) bb.API { return &boundBB{c: c, ctx: ctx} }
+
+// boundBB adapts BBClient's context-taking methods onto the context-free
+// bb.API interface by carrying one bound context.
+type boundBB struct {
+	c   *BBClient
+	ctx context.Context
+}
+
+var _ bb.API = (*boundBB)(nil)
+
+func (b *boundBB) Manifest() (ea.Manifest, error)     { return b.c.Manifest(b.ctx) }
+func (b *boundBB) Init() (*ea.BBInit, error)          { return b.c.Init(b.ctx) }
+func (b *boundBB) VoteSet() ([]vc.VotedBallot, error) { return b.c.VoteSet(b.ctx) }
+func (b *boundBB) Cast() (*bb.CastData, error)        { return b.c.Cast(b.ctx) }
+func (b *boundBB) Result() (*bb.Result, error)        { return b.c.Result(b.ctx) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

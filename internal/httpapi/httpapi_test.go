@@ -47,6 +47,9 @@ func TestHTTPDeploymentEndToEnd(t *testing.T) {
 	stopSim := drv.Spin()
 	defer stopSim()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
 	// VC nodes behind HTTP.
 	var services []voter.Service
 	for _, n := range cluster.VCs {
@@ -61,14 +64,10 @@ func TestHTTPDeploymentEndToEnd(t *testing.T) {
 		srv := httptest.NewServer(BBHandler(n))
 		defer srv.Close()
 		c := &BBClient{BaseURL: srv.URL}
-		apis = append(apis, c)
+		apis = append(apis, c.API(ctx))
 		bbClients = append(bbClients, c)
 	}
 	reader := bb.NewReader(apis)
-
-	// Vote over HTTP.
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
 	votes := []int{0, 1, 0, 0}
 	results := make([]*voter.CastResult, len(votes))
 	for i, opt := range votes {
@@ -95,10 +94,10 @@ func TestHTTPDeploymentEndToEnd(t *testing.T) {
 		set := sets[i]
 		sg := n.SignVoteSet(set)
 		for _, c := range bbClients {
-			if err := c.SubmitVoteSet(i, set, sg); err != nil {
+			if err := c.SubmitVoteSet(ctx, i, set, sg); err != nil {
 				t.Fatalf("vc %d push: %v", i, err)
 			}
-			if err := c.SubmitMskShare(n.MskShare()); err != nil {
+			if err := c.SubmitMskShare(ctx, n.MskShare()); err != nil {
 				t.Fatalf("vc %d msk: %v", i, err)
 			}
 		}
@@ -115,7 +114,7 @@ func TestHTTPDeploymentEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range bbClients {
-			if err := c.SubmitTrusteePost(post); err != nil {
+			if err := c.SubmitTrusteePost(ctx, post); err != nil {
 				t.Fatalf("trustee %d post: %v", i, err)
 			}
 		}
@@ -200,8 +199,8 @@ func TestMixedLocalAndHTTPReaderMajority(t *testing.T) {
 
 	mixed := bb.NewReader([]bb.API{
 		cluster.BBs[0],
-		&BBClient{BaseURL: srv.URL},
-		&BBClient{BaseURL: dead.URL},
+		(&BBClient{BaseURL: srv.URL}).API(ctx),
+		(&BBClient{BaseURL: dead.URL}).API(ctx),
 	})
 	res, err := mixed.Result()
 	if err != nil {
@@ -292,7 +291,7 @@ func TestClientTimeoutsSeparateDialFromRequest(t *testing.T) {
 		Timeouts: Timeouts{Dial: 150 * time.Millisecond, Request: 30 * time.Second},
 	}
 	start = time.Now()
-	if _, err := deadBB.Manifest(); err == nil {
+	if _, err := deadBB.Manifest(context.Background()); err == nil {
 		t.Fatal("read against a dead address must fail")
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
@@ -305,9 +304,9 @@ func TestClientTimeoutsSeparateDialFromRequest(t *testing.T) {
 	if _, err := dead.SubmitVote(ctx, 1, []byte("code")); err == nil {
 		t.Fatal("cancelled context must abort the vote")
 	}
-	cancelledBB := &BBClient{BaseURL: "http://192.0.2.1:9", Ctx: ctx,
+	cancelledBB := &BBClient{BaseURL: "http://192.0.2.1:9",
 		Timeouts: Timeouts{Dial: time.Second, Request: time.Second}}
-	if _, err := cancelledBB.Manifest(); err == nil {
-		t.Fatal("cancelled base context must abort bb reads")
+	if _, err := cancelledBB.Manifest(ctx); err == nil {
+		t.Fatal("cancelled context must abort bb reads")
 	}
 }
