@@ -252,6 +252,39 @@ func BenchmarkStoreAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkSetupAblation — the EA → VC setup handoff (the zero-copy
+// setup-to-vote path): the identical seeded election generated and handed
+// to a VC through the legacy whole-pool gob route (materialize, encode,
+// decode, build segments on first boot) and through the streaming route
+// (SetupStream emits straight into per-VC segment directories the VC opens
+// directly). Reported per route: setup wall time, peak heap while setting
+// up, and the VC's cold-start time. The CI baseline gates setup-mem-ratio
+// (legacy peak heap / streaming peak heap) — a ratio, machine-independent,
+// and it grows with pool size (legacy is O(pool), streaming O(segment)),
+// so the bench-size pool floors it.
+func BenchmarkSetupAblation(b *testing.B) {
+	cfg := benchmark.SetupAblationConfig{Ballots: 10_000, SegmentBallots: 1_000}
+	for i := 0; i < b.N; i++ {
+		points, err := benchmark.RunSetupAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]benchmark.SetupPoint{}
+		for _, pt := range points {
+			byName[pt.Route] = pt
+			b.Logf("route=%s setup=%.2fs peak-heap=%.1fMB coldstart=%.3fs mem-ratio=%.2f",
+				pt.Route, pt.SetupSec, pt.PeakHeapMB, pt.ColdStartSec, pt.MemRatio)
+		}
+		b.ReportMetric(byName["legacy"].SetupSec, "legacy-setup-sec")
+		b.ReportMetric(byName["streaming"].SetupSec, "streaming-setup-sec")
+		b.ReportMetric(byName["legacy"].PeakHeapMB, "legacy-peak-heap-mb")
+		b.ReportMetric(byName["streaming"].PeakHeapMB, "streaming-peak-heap-mb")
+		b.ReportMetric(byName["legacy"].ColdStartSec, "legacy-coldstart-sec")
+		b.ReportMetric(byName["streaming"].ColdStartSec, "streaming-coldstart-sec")
+		b.ReportMetric(byName["streaming"].MemRatio, "setup-mem-ratio")
+	}
+}
+
 // BenchmarkTallyAblation — the publish-phase pipeline sweep: the same
 // trustee posts combined sequentially (the seed's per-element verification),
 // in parallel, and through the batched random-linear-combination verifier.

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"ddemos/internal/bb"
-	"ddemos/internal/ea"
 	"ddemos/internal/httpapi"
 	"ddemos/internal/vc"
 )
@@ -42,11 +41,11 @@ func main() {
 	if *initPath == "" {
 		log.Fatal("-init is required")
 	}
-	var init ea.BBInit
-	if err := httpapi.ReadGobFile(*initPath, &init); err != nil {
+	init, err := httpapi.ReadBBInitFile(*initPath)
+	if err != nil {
 		log.Fatal(err)
 	}
-	node, err := bb.NewNode(&init)
+	node, err := bb.NewNode(init)
 	if err != nil {
 		log.Fatal(err)
 	}

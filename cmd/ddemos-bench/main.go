@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,store,store-election,tally,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,4d,4e,4f,5a,5b,5c,table1,ablation,pool,pool-election,store,store-election,tally,setup,all")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	authenticated := flag.Bool("authenticated", false, "sign inter-VC channels (Fig4 sweeps)")
 	batchWindow := flag.Duration("batch-window", 0,
@@ -143,6 +143,22 @@ func main() {
 			benchmark.PrintByzantineTallySweep(os.Stdout, sweep, sweepCfg)
 			return nil
 		},
+		"setup": func() error {
+			// The zero-copy setup-to-vote handoff at figure scale: 1M
+			// ballots is the pool where the legacy route's O(pool) peak is
+			// undeniable (GiBs) while the streaming route stays at
+			// O(segment). Expect minutes of EA key material generation.
+			cfg := benchmark.SetupAblationConfig{Ballots: 1_000_000}
+			if *quick {
+				cfg = benchmark.SetupAblationConfig{Ballots: 50_000, SegmentBallots: 10_000}
+			}
+			points, err := benchmark.RunSetupAblation(cfg)
+			if err != nil {
+				return err
+			}
+			benchmark.PrintSetupAblation(os.Stdout, points, cfg)
+			return nil
+		},
 		"pool-election": func() error {
 			votesP, clientsP := 1200, 200
 			if *quick {
@@ -159,7 +175,7 @@ func main() {
 
 	// 4a/4b and 4d/4e share one sweep (latency and throughput of the same
 	// runs); dedupe when running everything.
-	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool", "store", "tally"}
+	order := []string{"4a", "4c", "4d", "4f", "5a", "5b", "5c", "table1", "ablation", "pool", "store", "tally", "setup"}
 	if *fig == "all" {
 		for _, name := range order {
 			fmt.Printf("\n===== figure %s =====\n", name)

@@ -11,13 +11,24 @@
 //	manifest.gob            public election description (give to everyone)
 //	ballots.gob             all voter ballots (for the distribution channel)
 //	vc-<i>.gob              VC node i's private initialization data
+//	vc-<i>-ballots/         VC node i's pre-built segment store (default mode)
 //	bb.gob                  BB node initialization data (identical per node)
 //	trustee-<i>.gob         trustee i's private shares
+//
+// By default ballots stream straight to disk as they are generated — each
+// VC's pool lands in a vc-<i>-ballots/ segment directory (store.Writer) the
+// node opens directly, and ballots.gob/bb.gob/trustee-<i>.gob are gob
+// streams — so setup memory is O(segment), not O(pool). -legacy-payload
+// restores the previous whole-pool vc-<i>.gob files for old nodes; it is
+// kept for one release.
 package main
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -25,67 +36,276 @@ import (
 	"time"
 
 	"ddemos"
+	"ddemos/internal/ea"
 	"ddemos/internal/httpapi"
+	"ddemos/internal/store"
 )
 
 func main() {
-	out := flag.String("out", "election", "output directory")
-	ballots := flag.Int("ballots", 100, "number of eligible voters")
-	options := flag.String("options", "yes,no", "comma-separated options")
-	nv := flag.Int("vc", 4, "vote collector nodes")
-	nb := flag.Int("bb", 3, "bulletin board nodes")
-	nt := flag.Int("trustees", 3, "trustees")
-	ht := flag.Int("threshold", 0, "trustee threshold (default majority)")
-	startS := flag.String("start", "", "voting start, RFC3339 (default now)")
-	endS := flag.String("end", "", "voting end, RFC3339 (default start+12h)")
+	cfg := eaConfig{}
+	flag.StringVar(&cfg.out, "out", "election", "output directory")
+	flag.IntVar(&cfg.ballots, "ballots", 100, "number of eligible voters")
+	flag.StringVar(&cfg.options, "options", "yes,no", "comma-separated options")
+	flag.IntVar(&cfg.nv, "vc", 4, "vote collector nodes")
+	flag.IntVar(&cfg.nb, "bb", 3, "bulletin board nodes")
+	flag.IntVar(&cfg.nt, "trustees", 3, "trustees")
+	flag.IntVar(&cfg.ht, "threshold", 0, "trustee threshold (default majority)")
+	flag.StringVar(&cfg.startS, "start", "", "voting start, RFC3339 (default now)")
+	flag.StringVar(&cfg.endS, "end", "", "voting end, RFC3339 (default start+12h)")
+	flag.BoolVar(&cfg.segments, "segments", true, "emit per-VC segment directories (vc-<i>-ballots/) instead of inline pools")
+	flag.IntVar(&cfg.segmentBallots, "segment-ballots", store.DefaultSegmentBallots, "ballots per segment file")
+	flag.BoolVar(&cfg.legacyPayload, "legacy-payload", false, "write whole-pool vc-<i>.gob payloads (deprecated; one release)")
 	flag.Parse()
 
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsetup complete — distribute the files, then DELETE this directory.")
+}
+
+type eaConfig struct {
+	out            string
+	ballots        int
+	options        string
+	nv, nb, nt, ht int
+	startS, endS   string
+	segments       bool
+	segmentBallots int
+	legacyPayload  bool
+
+	// electionID overrides the generated ID (tests and the cluster
+	// harness); empty means newElectionID(start).
+	electionID string
+	// seed makes the setup deterministic (tests only).
+	seed []byte
+}
+
+// newElectionID derives a collision-free election identifier: the start
+// time for human greppability plus 8 bytes of crypto/rand, so two setups in
+// the same second (parallel CI runs) can never collide on ID or data dirs.
+func newElectionID(start time.Time) (string, error) {
+	var suffix [8]byte
+	if _, err := rand.Read(suffix[:]); err != nil {
+		return "", fmt.Errorf("election id entropy: %w", err)
+	}
+	return fmt.Sprintf("election-%d-%s", start.Unix(), hex.EncodeToString(suffix[:])), nil
+}
+
+func run(cfg eaConfig, w io.Writer) error {
 	start := time.Now()
-	if *startS != "" {
+	if cfg.startS != "" {
 		var err error
-		if start, err = time.Parse(time.RFC3339, *startS); err != nil {
-			log.Fatalf("bad -start: %v", err)
+		if start, err = time.Parse(time.RFC3339, cfg.startS); err != nil {
+			return fmt.Errorf("bad -start: %w", err)
 		}
 	}
 	end := start.Add(12 * time.Hour)
-	if *endS != "" {
+	if cfg.endS != "" {
 		var err error
-		if end, err = time.Parse(time.RFC3339, *endS); err != nil {
-			log.Fatalf("bad -end: %v", err)
+		if end, err = time.Parse(time.RFC3339, cfg.endS); err != nil {
+			return fmt.Errorf("bad -end: %w", err)
 		}
 	}
-
-	data, err := ddemos.Setup(ddemos.Params{
-		ElectionID:       fmt.Sprintf("election-%d", start.Unix()),
-		Options:          strings.Split(*options, ","),
-		NumBallots:       *ballots,
-		NumVC:            *nv,
-		NumBB:            *nb,
-		NumTrustees:      *nt,
-		TrusteeThreshold: *ht,
+	electionID := cfg.electionID
+	if electionID == "" {
+		var err error
+		if electionID, err = newElectionID(start); err != nil {
+			return err
+		}
+	}
+	p := ddemos.Params{
+		ElectionID:       electionID,
+		Options:          strings.Split(cfg.options, ","),
+		NumBallots:       cfg.ballots,
+		NumVC:            cfg.nv,
+		NumBB:            cfg.nb,
+		NumTrustees:      cfg.nt,
+		TrusteeThreshold: cfg.ht,
 		VotingStart:      start,
 		VotingEnd:        end,
+		Seed:             cfg.seed,
+	}
+	if err := os.MkdirAll(cfg.out, 0o700); err != nil {
+		return err
+	}
+	if cfg.legacyPayload || !cfg.segments {
+		return runLegacy(cfg, p, w)
+	}
+	return runStreaming(cfg, p, w)
+}
+
+// runStreaming is the zero-copy path: SetupStream emits each ballot once,
+// and every per-ballot artifact goes straight to disk — voter ballots and
+// BB/trustee payloads as gob streams, each VC's pool through a store.Writer
+// into its own segment directory. Peak memory is O(segment + stream
+// window) regardless of pool size.
+func runStreaming(cfg eaConfig, p ddemos.Params, w io.Writer) error {
+	wrote := func(name string) {
+		fmt.Fprintln(w, "wrote", filepath.Join(cfg.out, name))
+	}
+
+	ballotsOut, err := httpapi.CreateGobStream(filepath.Join(cfg.out, "ballots.gob"))
+	if err != nil {
+		return err
+	}
+	var streams []*httpapi.GobStream // everything to abort on failure
+	streams = append(streams, ballotsOut)
+	var segWriters []*store.Writer
+	fail := func(err error) error {
+		for _, s := range streams {
+			s.Abort()
+		}
+		for _, sw := range segWriters {
+			sw.Abort()
+		}
+		return err
+	}
+	if err := ballotsOut.Encode(httpapi.BallotsStreamHeader{
+		Magic:      httpapi.BallotsStreamMagic,
+		NumBallots: p.NumBallots,
+	}); err != nil {
+		return fail(err)
+	}
+
+	var bbOut *httpapi.GobStream
+	var trusteeOuts []*httpapi.GobStream
+	vcDirs := make([]string, p.NumVC)
+	for i := range vcDirs {
+		vcDirs[i] = fmt.Sprintf("vc-%d-ballots", i)
+		sw, err := store.NewWriter(filepath.Join(cfg.out, vcDirs[i]), store.WriterOptions{
+			SegmentBallots: cfg.segmentBallots,
+			ClearStale:     true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		segWriters = append(segWriters, sw)
+	}
+
+	// OnComponents fires after key generation and before the first ballot:
+	// open the BB/trustee streams and write their slim init headers, so
+	// the sink below only ever appends per-ballot values.
+	opts := ea.StreamOptions{
+		OnComponents: func(sd *ea.StreamData) error {
+			if sd.BB == nil {
+				return nil
+			}
+			var err error
+			if bbOut, err = httpapi.CreateGobStream(filepath.Join(cfg.out, "bb.gob")); err != nil {
+				return err
+			}
+			streams = append(streams, bbOut)
+			if err := bbOut.Encode(sd.BB); err != nil {
+				return err
+			}
+			trusteeOuts = make([]*httpapi.GobStream, len(sd.Trustees))
+			for i, t := range sd.Trustees {
+				if trusteeOuts[i], err = httpapi.CreateGobStream(filepath.Join(cfg.out, fmt.Sprintf("trustee-%d.gob", i))); err != nil {
+					return err
+				}
+				streams = append(streams, trusteeOuts[i])
+				if err := trusteeOuts[i].Encode(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	sd, err := ea.SetupStream(p, opts, func(e *ea.Emission) error {
+		if err := ballotsOut.Encode(e.Voter); err != nil {
+			return err
+		}
+		for i, sw := range segWriters {
+			if err := sw.Append(e.VC[i]); err != nil {
+				return err
+			}
+		}
+		if e.BB != nil {
+			if err := bbOut.Encode(e.BB); err != nil {
+				return err
+			}
+			for i := range e.Trustees {
+				if err := trusteeOuts[i].Encode(&e.Trustees[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	})
 	if err != nil {
-		log.Fatalf("setup: %v", err)
+		return fail(fmt.Errorf("setup: %w", err))
 	}
-	if err := os.MkdirAll(*out, 0o700); err != nil {
-		log.Fatal(err)
+	if err := ballotsOut.Close(); err != nil {
+		return fail(err)
 	}
-	write := func(name string, v any) {
-		if err := httpapi.WriteGobFile(filepath.Join(*out, name), v); err != nil {
-			log.Fatal(err)
+	wrote("ballots.gob")
+	for i, sw := range segWriters {
+		seg, err := sw.Finish()
+		if err != nil {
+			return fail(err)
 		}
-		fmt.Println("wrote", filepath.Join(*out, name))
+		_ = seg.Close()
+		wrote(vcDirs[i] + string(os.PathSeparator))
 	}
-	write("manifest.gob", &data.Manifest)
-	write("ballots.gob", data.Ballots)
+	if bbOut != nil {
+		if err := bbOut.Close(); err != nil {
+			return fail(err)
+		}
+		wrote("bb.gob")
+		for i, t := range trusteeOuts {
+			if err := t.Close(); err != nil {
+				return fail(err)
+			}
+			wrote(fmt.Sprintf("trustee-%d.gob", i))
+		}
+	}
+	if err := httpapi.WriteGobFile(filepath.Join(cfg.out, "manifest.gob"), &sd.Manifest); err != nil {
+		return fail(err)
+	}
+	wrote("manifest.gob")
+	for i, v := range sd.VC {
+		v.BallotsDir = vcDirs[i] // relative to the payload file's directory
+		if err := httpapi.WriteGobFile(filepath.Join(cfg.out, fmt.Sprintf("vc-%d.gob", i)), v); err != nil {
+			return fail(err)
+		}
+		wrote(fmt.Sprintf("vc-%d.gob", i))
+	}
+	return nil
+}
+
+// runLegacy materializes the whole pool in memory and writes the original
+// single-value gob payloads. Deprecated; kept for one release so old node
+// binaries can still be initialized.
+func runLegacy(cfg eaConfig, p ddemos.Params, w io.Writer) error {
+	data, err := ddemos.Setup(p)
+	if err != nil {
+		return fmt.Errorf("setup: %w", err)
+	}
+	write := func(name string, v any) error {
+		if err := httpapi.WriteGobFile(filepath.Join(cfg.out, name), v); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", filepath.Join(cfg.out, name))
+		return nil
+	}
+	if err := write("manifest.gob", &data.Manifest); err != nil {
+		return err
+	}
+	if err := write("ballots.gob", data.Ballots); err != nil {
+		return err
+	}
 	for i, v := range data.VC {
-		write(fmt.Sprintf("vc-%d.gob", i), v)
+		if err := write(fmt.Sprintf("vc-%d.gob", i), v); err != nil {
+			return err
+		}
 	}
-	write("bb.gob", data.BB)
+	if err := write("bb.gob", data.BB); err != nil {
+		return err
+	}
 	for i, t := range data.Trustees {
-		write(fmt.Sprintf("trustee-%d.gob", i), t)
+		if err := write(fmt.Sprintf("trustee-%d.gob", i), t); err != nil {
+			return err
+		}
 	}
-	fmt.Println("\nsetup complete — distribute the files, then DELETE this directory.")
+	return nil
 }

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ddemos/internal/ea"
+	"ddemos/internal/httpapi"
+	"ddemos/internal/store"
+)
+
+// TestNewElectionIDUnique pins the same-second collision fix: the old ID
+// was election-<start.Unix()>, so two setups started in the same second
+// (parallel CI runs, scripted re-runs) collided on ID — and on everything
+// keyed by it. The ID now mixes in crypto/rand, so same-instant setups
+// must still be unique, while keeping the greppable time prefix.
+func TestNewElectionIDUnique(t *testing.T) {
+	start := time.Unix(1750000000, 0)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id, err := newElectionID(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(id, "election-1750000000-") {
+			t.Fatalf("ID %q lost the greppable time prefix", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate election ID %q for the same start second", id)
+		}
+		seen[id] = true
+	}
+}
+
+// gobBytes canonicalizes a value through gob for byte comparison.
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamingAndLegacyRoutesEmitIdenticalElections is the differential
+// end-to-end setup test: the same seeded election generated through the
+// default streaming route (-segments: slim vc-<i>.gob + segment dirs, gob
+// streams for ballots/BB/trustees) and the legacy route (-legacy-payload:
+// whole-pool single-value gobs) must contain byte-identical ballots and
+// identical component payloads — and the streaming VC payload must be
+// openable exactly the way ddemos-vc opens it (BallotsDir resolved against
+// the payload file, store.OpenSegmented, no pool decode).
+func TestStreamingAndLegacyRoutesEmitIdenticalElections(t *testing.T) {
+	const nBallots, nVC, nTrustees = 40, 4, 3
+	base := t.TempDir()
+	streamDir := filepath.Join(base, "streaming")
+	legacyDir := filepath.Join(base, "legacy")
+	common := eaConfig{
+		ballots: nBallots, options: "yes,no", nv: nVC, nb: 3, nt: nTrustees,
+		startS: "2026-06-10T08:00:00Z", endS: "2026-06-10T20:00:00Z",
+		segments: true, segmentBallots: 16, // several segments from the 40-ballot pool
+		electionID: "route-differential", seed: []byte("route-differential"),
+	}
+	streamCfg, legacyCfg := common, common
+	streamCfg.out = streamDir
+	legacyCfg.out = legacyDir
+	legacyCfg.legacyPayload = true
+	if err := run(streamCfg, io.Discard); err != nil {
+		t.Fatalf("streaming route: %v", err)
+	}
+	if err := run(legacyCfg, io.Discard); err != nil {
+		t.Fatalf("legacy route: %v", err)
+	}
+
+	// Voter ballots: the streamed ballots.gob and the legacy whole-slice
+	// ballots.gob must decode to byte-identical pools.
+	streamBallots, err := httpapi.ReadBallotsFile(filepath.Join(streamDir, "ballots.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyBallots, err := httpapi.ReadBallotsFile(filepath.Join(legacyDir, "ballots.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamBallots) != nBallots || len(legacyBallots) != nBallots {
+		t.Fatalf("pool sizes: streaming %d, legacy %d, want %d", len(streamBallots), len(legacyBallots), nBallots)
+	}
+	for i := range legacyBallots {
+		if !bytes.Equal(gobBytes(t, streamBallots[i]), gobBytes(t, legacyBallots[i])) {
+			t.Fatalf("voter ballot %d differs between routes", i)
+		}
+	}
+
+	// Manifests identical.
+	var streamMan, legacyMan ea.Manifest
+	if err := httpapi.ReadGobFile(filepath.Join(streamDir, "manifest.gob"), &streamMan); err != nil {
+		t.Fatal(err)
+	}
+	if err := httpapi.ReadGobFile(filepath.Join(legacyDir, "manifest.gob"), &legacyMan); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, &streamMan), gobBytes(t, &legacyMan)) {
+		t.Fatal("manifests differ between routes")
+	}
+
+	// Per-VC payloads: open the streaming one the way ddemos-vc does —
+	// resolve BallotsDir against the payload file and OpenSegmented — and
+	// compare every stored ballot against the legacy inline pool.
+	for i := 0; i < nVC; i++ {
+		initPath := filepath.Join(streamDir, fmt.Sprintf("vc-%d.gob", i))
+		var streamInit, legacyInit ea.VCInit
+		if err := httpapi.ReadGobFile(initPath, &streamInit); err != nil {
+			t.Fatal(err)
+		}
+		if err := httpapi.ReadGobFile(filepath.Join(legacyDir, fmt.Sprintf("vc-%d.gob", i)), &legacyInit); err != nil {
+			t.Fatal(err)
+		}
+		if len(streamInit.Ballots) != 0 {
+			t.Fatalf("vc-%d: streaming payload carries %d inline ballots, want none", i, len(streamInit.Ballots))
+		}
+		if streamInit.BallotsDir == "" {
+			t.Fatalf("vc-%d: streaming payload has no BallotsDir", i)
+		}
+		if len(legacyInit.Ballots) != nBallots {
+			t.Fatalf("vc-%d: legacy payload carries %d ballots, want %d", i, len(legacyInit.Ballots), nBallots)
+		}
+		segPath := streamInit.BallotsDir
+		if !filepath.IsAbs(segPath) {
+			segPath = filepath.Join(filepath.Dir(initPath), segPath)
+		}
+		seg, err := store.OpenSegmented(segPath)
+		if err != nil {
+			t.Fatalf("vc-%d: opening emitted segment dir: %v", i, err)
+		}
+		if seg.Count() != nBallots {
+			t.Fatalf("vc-%d: segment dir holds %d ballots, want %d", i, seg.Count(), nBallots)
+		}
+		for _, want := range legacyInit.Ballots {
+			got, err := seg.Get(want.Serial)
+			if err != nil {
+				t.Fatalf("vc-%d Get(%d): %v", i, want.Serial, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("vc-%d: ballot %d differs between routes", i, want.Serial)
+			}
+		}
+		_ = seg.Close()
+		// Everything but the pool carrier must match: same keys, same
+		// manifest, same index.
+		streamInit.BallotsDir = ""
+		legacyInit.Ballots = nil
+		if !bytes.Equal(gobBytes(t, &streamInit), gobBytes(t, &legacyInit)) {
+			t.Fatalf("vc-%d: non-pool payload fields differ between routes", i)
+		}
+	}
+
+	// BB and trustee payloads via their streaming-aware readers.
+	streamBB, err := httpapi.ReadBBInitFile(filepath.Join(streamDir, "bb.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyBB, err := httpapi.ReadBBInitFile(filepath.Join(legacyDir, "bb.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gobBytes(t, streamBB), gobBytes(t, legacyBB)) {
+		t.Fatal("BB payloads differ between routes")
+	}
+	for i := 0; i < nTrustees; i++ {
+		name := fmt.Sprintf("trustee-%d.gob", i)
+		st, err := httpapi.ReadTrusteeInitFile(filepath.Join(streamDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := httpapi.ReadTrusteeInitFile(filepath.Join(legacyDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gobBytes(t, st), gobBytes(t, lt)) {
+			t.Fatalf("trustee %d payloads differ between routes", i)
+		}
+	}
+}

@@ -70,8 +70,8 @@ func main() {
 		log.Print("loadgen: -vc holds no URLs")
 		os.Exit(2)
 	}
-	var ballots []*ballot.Ballot
-	if err := httpapi.ReadGobFile(*ballotsPath, &ballots); err != nil {
+	ballots, err := httpapi.ReadBallotsFile(*ballotsPath)
+	if err != nil {
 		log.Printf("loadgen: %v", err)
 		os.Exit(2)
 	}

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"ddemos/internal/bb"
-	"ddemos/internal/ea"
 	"ddemos/internal/httpapi"
 	"ddemos/internal/trustee"
 )
@@ -28,11 +27,11 @@ func main() {
 	if *initPath == "" || *bbS == "" {
 		log.Fatal("-init and -bb are required")
 	}
-	var init ea.TrusteeInit
-	if err := httpapi.ReadGobFile(*initPath, &init); err != nil {
+	init, err := httpapi.ReadTrusteeInitFile(*initPath)
+	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := trustee.New(&init)
+	tr, err := trustee.New(init)
 	if err != nil {
 		log.Fatal(err)
 	}

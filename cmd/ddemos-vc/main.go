@@ -26,10 +26,14 @@ import (
 	"ddemos/internal/vc"
 )
 
-// openOrBuildSegments serves the -store-segments flag: open an existing
-// segment directory, or materialize one from the init payload's ballot pool
-// (a one-time streaming build) when the manifest is missing. With cacheBytes
-// > 0 the opened store is wrapped in the admission-controlled LRU.
+// openOrBuildSegments serves the -store-segments flag and the init
+// payload's BallotsDir reference: open an existing segment directory, or
+// materialize one from the init payload's ballot pool (a one-time streaming
+// build) when the manifest is missing. A crash mid-build leaves orphaned
+// ballots-*.seg files and no manifest; the rebuild clears them explicitly
+// so a reboot converges on a clean store instead of mixing stale and fresh
+// segments. With cacheBytes > 0 the opened store is wrapped in the
+// admission-controlled LRU.
 func openOrBuildSegments(dir string, init *ea.VCInit, cacheBytes int64) (store.Store, error) {
 	var seg *store.Segmented
 	if _, err := os.Stat(filepath.Join(dir, store.ManifestName)); err == nil {
@@ -39,9 +43,21 @@ func openOrBuildSegments(dir string, init *ea.VCInit, cacheBytes int64) (store.S
 		}
 		log.Printf("ballot store: %d ballots from %d segments in %s", seg.Count(), seg.Segments(), dir)
 	} else {
+		if len(init.Ballots) == 0 {
+			return nil, fmt.Errorf("segment dir %s has no %s and the init payload carries no inline pool — "+
+				"point the node at the EA-emitted segment directory (BallotsDir/-store-segments) or use a -legacy-payload init",
+				dir, store.ManifestName)
+		}
 		w, err := store.NewWriter(dir, store.WriterOptions{})
 		if err != nil {
-			return nil, err
+			// A crash mid-build leaves segment files without a manifest;
+			// NewWriter refuses them so a rebuild cannot silently mix stale
+			// and fresh segments. Clearing them here is safe — without a
+			// manifest the directory never served anything.
+			log.Printf("ballot store: %v; clearing and rebuilding", err)
+			if w, err = store.NewWriter(dir, store.WriterOptions{ClearStale: true}); err != nil {
+				return nil, err
+			}
 		}
 		for _, b := range init.Ballots {
 			if err := w.Append(b); err != nil {
@@ -133,19 +149,32 @@ func main() {
 			},
 		})
 	}
-	if *storeCache > 0 && *storeSegments == "" {
-		log.Fatal("-store-cache requires -store-segments")
+	// Resolve the ballot store: an explicit -store-segments dir wins;
+	// otherwise a segment-emitting EA handoff names its pre-built directory
+	// in the init payload (relative paths resolve against the payload
+	// file), and the node opens it without ever decoding a pool.
+	segDir := *storeSegments
+	if segDir == "" && init.BallotsDir != "" {
+		segDir = init.BallotsDir
+		if !filepath.IsAbs(segDir) {
+			segDir = filepath.Join(filepath.Dir(*initPath), segDir)
+		}
+		log.Printf("ballot store: init payload references segment dir %s", segDir)
+	}
+	if *storeCache > 0 && segDir == "" {
+		log.Fatal("-store-cache requires -store-segments (or a segment-emitting init payload)")
 	}
 	var ballotStore store.Store
-	if *storeSegments != "" {
-		ballotStore, err = openOrBuildSegments(*storeSegments, &init, *storeCache)
+	if segDir != "" {
+		ballotStore, err = openOrBuildSegments(segDir, &init, *storeCache)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer func() { _ = ballotStore.Close() }()
-		// The gob-decoded pool has served its purpose (segment build); drop
-		// it so the process actually runs at cache-budget memory — holding
-		// it would defeat the flag at the millions-of-ballots scale.
+		// The gob-decoded pool (if any) has served its purpose (segment
+		// build); drop it so the process actually runs at cache-budget
+		// memory — holding it would defeat the flag at the
+		// millions-of-ballots scale.
 		init.Ballots = nil
 	}
 	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep, Store: ballotStore})

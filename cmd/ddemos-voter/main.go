@@ -39,8 +39,8 @@ func main() {
 	if *ballotsPath == "" || *serial == 0 {
 		log.Fatal("-ballots and -serial are required")
 	}
-	var ballots []*ballot.Ballot
-	if err := httpapi.ReadGobFile(*ballotsPath, &ballots); err != nil {
+	ballots, err := httpapi.ReadBallotsFile(*ballotsPath)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if *serial > uint64(len(ballots)) {
@@ -89,7 +89,6 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	var res *voter.CastResult
-	var err error
 	switch strings.ToUpper(*partS) {
 	case "A":
 		res, err = cl.CastWithPart(ctx, optIdx, ballot.PartA)

@@ -7,8 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"runtime"
-	"sync"
 
 	"ddemos/internal/ballot"
 	"ddemos/internal/crypto/elgamal"
@@ -39,26 +37,87 @@ func verifyShare(pub ed25519.PublicKey, sigBytes []byte, domain, electionID stri
 }
 
 // Setup runs the Election Authority: it generates all keys, ballots and
-// component initialization data for the given parameters. Ballots are
-// processed in parallel across CPUs; with Params.Seed set the output is
-// fully deterministic regardless of parallelism (each ballot derives its
-// own DRBG).
+// component initialization data for the given parameters, holding the whole
+// pool in memory. Ballots are processed in parallel across CPUs; with
+// Params.Seed set the output is fully deterministic regardless of
+// parallelism (each ballot derives its own DRBG).
+//
+// Setup is the materialized form of SetupStream: pools that do not fit in
+// memory stream through SetupStream instead, which produces byte-identical
+// per-ballot data in serial order without ever holding more than the
+// reorder window.
 func Setup(p Params) (*ElectionData, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	ballots := make([]*ballot.Ballot, p.NumBallots)
+	vcBallots := make([][]*store.BallotData, p.NumVC)
+	for i := range vcBallots {
+		vcBallots[i] = make([]*store.BallotData, p.NumBallots)
+	}
+	var bbBallots []BBBallot
+	var trusteeBallots [][]TrusteeBallot
+	if !p.VCOnly {
+		bbBallots = make([]BBBallot, p.NumBallots)
+		trusteeBallots = make([][]TrusteeBallot, p.NumTrustees)
+		for i := range trusteeBallots {
+			trusteeBallots[i] = make([]TrusteeBallot, p.NumBallots)
+		}
+	}
+	sd, err := SetupStream(p, StreamOptions{}, func(e *Emission) error {
+		idx := e.Serial - 1
+		ballots[idx] = e.Voter
+		for i := range vcBallots {
+			vcBallots[i][idx] = e.VC[i]
+		}
+		if e.BB != nil {
+			bbBallots[idx] = *e.BB
+		}
+		for i := range e.Trustees {
+			trusteeBallots[i][idx] = e.Trustees[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := &ElectionData{
+		Manifest: sd.Manifest,
+		Ballots:  ballots,
+		VC:       sd.VC,
+		BB:       sd.BB,
+		Trustees: sd.Trustees,
+	}
+	for i, v := range data.VC {
+		v.Ballots = vcBallots[i]
+	}
+	if data.BB != nil {
+		data.BB.Ballots = bbBallots
+		for i, t := range data.Trustees {
+			t.Ballots = trusteeBallots[i]
+		}
+	}
+	return data, nil
+}
+
+// setupComponents generates everything that is O(components), not
+// O(ballots): the key pairs, the manifest, the master key and its shares,
+// and the slim (ballot-less) per-component initialization payloads. The
+// master randomness consumption order is frozen — it is what makes seeded
+// setups reproducible across the Setup and SetupStream routes.
+func setupComponents(p *Params) (*StreamData, *ballotGen, error) {
 	masterRnd := newRand(p.Seed, "master", 0)
 
 	// Keys for every component (no external PKI, §III-D).
 	eaKeys, err := sig.NewKeyPair(masterRnd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	vcKeys := make([]sig.KeyPair, p.NumVC)
 	vcPubs := make([]ed25519.PublicKey, p.NumVC)
 	for i := range vcKeys {
 		if vcKeys[i], err = sig.NewKeyPair(masterRnd); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		vcPubs[i] = vcKeys[i].Public
 	}
@@ -66,7 +125,7 @@ func Setup(p Params) (*ElectionData, error) {
 	trusteePubs := make([]ed25519.PublicKey, p.NumTrustees)
 	for i := range trusteeKeys {
 		if trusteeKeys[i], err = sig.NewKeyPair(masterRnd); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		trusteePubs[i] = trusteeKeys[i].Public
 	}
@@ -91,29 +150,28 @@ func Setup(p Params) (*ElectionData, error) {
 	// nodes; H_msk authenticates it for the BB nodes.
 	msk, err := votecode.NewKey(masterRnd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	saltMsk, err := votecode.NewSalt(masterRnd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mskScalar, err := shamir.SecretToScalar(msk)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hv := manifest.ReceiptThreshold()
 	mskShares, err := shamir.Split(mskScalar, hv, p.NumVC, masterRnd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	data := &ElectionData{
+	sd := &StreamData{
 		Manifest: manifest,
-		Ballots:  make([]*ballot.Ballot, p.NumBallots),
 		VC:       make([]*VCInit, p.NumVC),
 	}
-	for i := range data.VC {
-		data.VC[i] = &VCInit{
+	for i := range sd.VC {
+		sd.VC[i] = &VCInit{
 			Manifest: manifest,
 			Index:    i,
 			Private:  vcKeys[i].Private,
@@ -122,68 +180,35 @@ func Setup(p Params) (*ElectionData, error) {
 				Value: mskShares[i].Value,
 				Sig:   SignMskShare(eaKeys.Private, p.ElectionID, mskShares[i]),
 			},
-			Ballots: make([]*store.BallotData, p.NumBallots),
 		}
 	}
 	if !p.VCOnly {
-		data.BB = &BBInit{Manifest: manifest, Ballots: make([]BBBallot, p.NumBallots)}
-		data.BB.HMsk = votecode.KeyCheck(msk, saltMsk)
-		copy(data.BB.SaltMsk[:], saltMsk)
-		data.Trustees = make([]*TrusteeInit, p.NumTrustees)
-		for i := range data.Trustees {
-			data.Trustees[i] = &TrusteeInit{
+		sd.BB = &BBInit{Manifest: manifest}
+		sd.BB.HMsk = votecode.KeyCheck(msk, saltMsk)
+		copy(sd.BB.SaltMsk[:], saltMsk)
+		sd.Trustees = make([]*TrusteeInit, p.NumTrustees)
+		for i := range sd.Trustees {
+			sd.Trustees[i] = &TrusteeInit{
 				Manifest: manifest,
 				Index:    i,
 				Private:  trusteeKeys[i].Private,
-				Ballots:  make([]TrusteeBallot, p.NumBallots),
 			}
 		}
 	}
 
-	// Per-ballot generation, parallel across CPUs.
 	gen := &ballotGen{
-		p:       &p,
+		p:       p,
 		ck:      manifest.CommitmentKey(),
 		eaPriv:  eaKeys.Private,
 		msk:     msk,
 		hv:      hv,
 		m:       len(p.Options),
-		data:    data,
+		numVC:   p.NumVC,
+		full:    !p.VCOnly,
+		numT:    p.NumTrustees,
 		hasSeed: p.Seed != nil,
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.NumBallots {
-		workers = p.NumBallots
-	}
-	serials := make(chan uint64, workers*2)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for serial := range serials {
-				if err := gen.one(serial); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for s := uint64(1); s <= uint64(p.NumBallots); s++ {
-		serials <- s
-	}
-	close(serials)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-	return data, nil
+	return sd, gen, nil
 }
 
 // newRand builds the randomness source for a scope: a deterministic DRBG if
@@ -206,13 +231,15 @@ type ballotGen struct {
 	msk     []byte
 	hv      int
 	m       int
-	data    *ElectionData
+	numVC   int
+	full    bool
+	numT    int
 	hasSeed bool
 }
 
-// one generates ballot `serial` and all derived per-component data, writing
-// into the pre-allocated slots (no cross-ballot contention).
-func (g *ballotGen) one(serial uint64) error {
+// one generates ballot `serial` and all derived per-component data as a
+// self-contained Emission (no shared state; safe to call concurrently).
+func (g *ballotGen) one(serial uint64) (*Emission, error) {
 	var rnd io.Reader
 	if g.hasSeed {
 		rnd = newRand(g.p.Seed, "ballot", serial)
@@ -220,16 +247,16 @@ func (g *ballotGen) one(serial uint64) error {
 		rnd = rand.Reader
 	}
 	b := &ballot.Ballot{Serial: serial}
-	vcData := make([]*store.BallotData, len(g.data.VC))
+	vcData := make([]*store.BallotData, g.numVC)
 	for i := range vcData {
 		vcData[i] = &store.BallotData{Serial: serial}
 	}
 	var bbBallot BBBallot
 	var trusteeBallots []TrusteeBallot
-	full := g.data.BB != nil
+	full := g.full
 	if full {
 		bbBallot.Serial = serial
-		trusteeBallots = make([]TrusteeBallot, len(g.data.Trustees))
+		trusteeBallots = make([]TrusteeBallot, g.numT)
 		for i := range trusteeBallots {
 			trusteeBallots[i].Serial = serial
 		}
@@ -241,24 +268,24 @@ func (g *ballotGen) one(serial uint64) error {
 		for opt := 0; opt < g.m; opt++ {
 			code, err := votecode.NewCode(rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for seenCodes[string(code)] { // enforce per-ballot uniqueness
 				if code, err = votecode.NewCode(rnd); err != nil {
-					return err
+					return nil, err
 				}
 			}
 			seenCodes[string(code)] = true
 			receipt, err := votecode.NewReceipt(rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			lines[opt] = ballot.Line{VoteCode: code, Option: g.p.Options[opt], Receipt: receipt}
 		}
 		// Shuffle rows so BB position leaks nothing about the option.
 		perm, err := randPerm(rnd, g.m)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mRows := g.m
 		for i := range vcData {
@@ -273,18 +300,18 @@ func (g *ballotGen) one(serial uint64) error {
 			line := &lines[optIdx]
 			salt, err := votecode.NewSalt(rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			hash := votecode.HashCommit(line.VoteCode, salt)
 
 			// Receipt sharing (Nv-fv, Nv) with EA-signed shares.
 			rScalar, err := shamir.SecretToScalar(line.Receipt)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			rShares, err := shamir.Split(rScalar, g.hv, len(g.data.VC), rnd)
+			rShares, err := shamir.Split(rScalar, g.hv, g.numVC, rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for i := range vcData {
 				sl := &vcData[i].Lines[part][row]
@@ -301,11 +328,11 @@ func (g *ballotGen) one(serial uint64) error {
 			// first moves.
 			encCode, err := votecode.Encrypt(g.msk, line.VoteCode, rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			cts, opening, err := g.ck.EncryptUnitVector(g.m, optIdx, rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			bitCommits := make([]zkp.BitCommit, g.m)
 			bitCoeffs := make([]zkp.BitCoeffs, g.m)
@@ -317,7 +344,7 @@ func (g *ballotGen) one(serial uint64) error {
 				}
 				com, cf, err := zkp.NewBitProofFor(g.ck, cts[col], mBit, opening.Rs[col], rnd)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				bitCommits[col] = com
 				bitCoeffs[col] = cf
@@ -325,7 +352,7 @@ func (g *ballotGen) one(serial uint64) error {
 			}
 			sumCommit, sumCoeffs, err := zkp.NewSumProof(g.ck, rSum, rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			bbRows[row] = BBRow{
 				EncCode:    encCode,
@@ -347,15 +374,15 @@ func (g *ballotGen) one(serial uint64) error {
 			for col := 0; col < g.m; col++ {
 				mShares, err := shamir.Split(opening.Ms[col], ht, nt, rnd)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				rShares, err := shamir.Split(opening.Rs[col], ht, nt, rnd)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				cfShares, err := zkp.ShareBitCoeffs(bitCoeffs[col], ht, nt, rnd)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				for ti := 0; ti < nt; ti++ {
 					tRows[ti].MShares[col] = mShares[ti].Value
@@ -365,7 +392,7 @@ func (g *ballotGen) one(serial uint64) error {
 			}
 			sumShares, err := zkp.ShareSumCoeffs(sumCoeffs, ht, nt, rnd)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for ti := 0; ti < nt; ti++ {
 				tRows[ti].SumCoeffs = sumShares[ti]
@@ -383,18 +410,12 @@ func (g *ballotGen) one(serial uint64) error {
 		b.Parts[part] = ballot.Part{Lines: lines}
 	}
 
-	idx := serial - 1
-	g.data.Ballots[idx] = b
-	for i := range g.data.VC {
-		g.data.VC[i].Ballots[idx] = vcData[i]
-	}
+	e := &Emission{Serial: serial, Voter: b, VC: vcData}
 	if full {
-		g.data.BB.Ballots[idx] = bbBallot
-		for ti := range g.data.Trustees {
-			g.data.Trustees[ti].Ballots[idx] = trusteeBallots[ti]
-		}
+		e.BB = &bbBallot
+		e.Trustees = trusteeBallots
 	}
-	return nil
+	return e, nil
 }
 
 // randPerm is a Fisher–Yates shuffle driven by the setup randomness source.

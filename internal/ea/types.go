@@ -160,8 +160,14 @@ type VCInit struct {
 	Private ed25519.PrivateKey
 	Msk     MskShare
 	// Ballots is the node's ballot store content (hash commitments, salts,
-	// receipt shares), rows in the same shuffled order as the BB.
+	// receipt shares), rows in the same shuffled order as the BB. Legacy
+	// whole-pool payloads carry it inline; segment-emitting setups leave it
+	// nil and set BallotsDir instead.
 	Ballots []*store.BallotData
+	// BallotsDir, when non-empty, points at a pre-built segment directory
+	// (store.OpenSegmented layout) holding the node's ballot pool, so the
+	// VC boots without ever decoding the pool into memory.
+	BallotsDir string
 }
 
 // BBRow is one ⟨encrypted vote code, payload⟩ tuple on the shuffled list of

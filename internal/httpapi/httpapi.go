@@ -35,17 +35,21 @@ import (
 	"ddemos/internal/vc"
 )
 
-// WriteGobFile serializes v to path.
+// WriteGobFile serializes v to path atomically: the value is encoded to a
+// temp file in the same directory, fsynced, and renamed over path (then the
+// directory is synced), so a crash or full disk mid-write can never leave a
+// torn payload behind — either the old file survives intact or the new one
+// is complete. Same pattern as store.WriteWALFile.
 func WriteGobFile(path string, v any) error {
-	f, err := os.Create(path)
+	w, err := CreateGobStream(path)
 	if err != nil {
-		return fmt.Errorf("httpapi: create %s: %w", path, err)
+		return err
 	}
-	if err := gob.NewEncoder(f).Encode(v); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("httpapi: encode %s: %w", path, err)
+	if err := w.Encode(v); err != nil {
+		w.Abort()
+		return err
 	}
-	return f.Close()
+	return w.Close()
 }
 
 // ReadGobFile deserializes path into v.

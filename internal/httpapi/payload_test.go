@@ -1,0 +1,87 @@
+package httpapi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payloadDoc struct {
+	Name  string
+	Count int
+}
+
+// TestWriteGobFileTornWriteSurvives is the torn-setup regression: the old
+// WriteGobFile opened the destination with os.Create and encoded into it
+// directly, so a failure mid-encode (or a crash) left a truncated gob at
+// the final path — a VC booting from it would fail (or worse, a partially
+// decoded init). The rewrite stages through a temp file with fsync+rename:
+// a failed write must leave the previous file byte-intact and no debris.
+func TestWriteGobFileTornWriteSurvives(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "init.gob")
+
+	want := payloadDoc{Name: "first", Count: 42}
+	if err := WriteGobFile(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// gob cannot encode a channel: the encode fails after the stream is
+	// open, exactly the mid-write failure a torn setup produces.
+	type unencodable struct{ C chan int }
+	if err := WriteGobFile(path, &unencodable{C: make(chan int)}); err == nil {
+		t.Fatal("encoding a channel must fail")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous file must survive a failed rewrite: %v", err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("failed rewrite corrupted the previous file")
+	}
+	var got payloadDoc
+	if err := ReadGobFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+
+	// No temp-file debris: the aborted write must clean up after itself.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "init.gob" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("aborted write left debris: %v", names)
+	}
+}
+
+// TestWriteGobFileReplacesAtomically: a successful rewrite fully replaces
+// the previous contents (no append, no partial overlay).
+func TestWriteGobFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "init.gob")
+	if err := WriteGobFile(path, &payloadDoc{Name: "old", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := payloadDoc{Name: "new-and-longer-than-before", Count: 2}
+	if err := WriteGobFile(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got payloadDoc
+	if err := ReadGobFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}

@@ -166,6 +166,11 @@ type WriterOptions struct {
 	// SegmentBallots is the capacity of every segment but the last
 	// (default DefaultSegmentBallots).
 	SegmentBallots int
+	// ClearStale removes leftover build debris (ballots-*.seg files and a
+	// manifest temp file, as left by a crash mid-build) from the directory
+	// instead of refusing it. A directory with a complete manifest is
+	// refused either way — it is a live store, not debris.
+	ClearStale bool
 }
 
 // Writer streams a ballot pool into a segment directory: Append writes each
@@ -195,7 +200,11 @@ type Writer struct {
 }
 
 // NewWriter starts a streaming build into dir (created if missing). The
-// directory must not already contain a manifest.
+// directory must not already contain a manifest, and — unless
+// WriterOptions.ClearStale is set — must not contain leftover segment files
+// from a crashed build either: rebuilding into a dirty directory would mix
+// stale and fresh ballots-<k>.seg files, and a manifest written over them
+// could then describe segments it never produced.
 func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
 	if opts.SegmentBallots <= 0 {
 		opts.SegmentBallots = DefaultSegmentBallots
@@ -206,7 +215,35 @@ func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
 	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
 		return nil, fmt.Errorf("store: %s already holds a segment store", dir)
 	}
+	stale, err := staleBuildFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(stale) > 0 {
+		if !opts.ClearStale {
+			return nil, fmt.Errorf("store: %s holds %d leftover segment file(s) from an interrupted build (e.g. %s); remove them or set WriterOptions.ClearStale",
+				dir, len(stale), filepath.Base(stale[0]))
+		}
+		for _, path := range stale {
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("store: clearing stale build file: %w", err)
+			}
+		}
+	}
 	return &Writer{dir: dir, segBallots: opts.SegmentBallots}, nil
+}
+
+// staleBuildFiles lists debris a crashed Writer can leave in dir: segment
+// files without a manifest, and an orphaned manifest temp file.
+func staleBuildFiles(dir string) ([]string, error) {
+	segs, err := filepath.Glob(filepath.Join(dir, "ballots-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning segment dir: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName+".tmp")); err == nil {
+		segs = append(segs, filepath.Join(dir, ManifestName+".tmp"))
+	}
+	return segs, nil
 }
 
 // Append adds the next ballot to the store.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -236,5 +237,146 @@ func TestWriterRejectsSparseSerials(t *testing.T) {
 	}
 	if err := w.Append(ballots[2]); err == nil {
 		t.Fatal("sparse serial accepted")
+	}
+}
+
+// TestWriterRefusesStaleBuild pins the crash-mid-build reboot cycle: a
+// builder that dies before Finish leaves ballots-*.seg files and no
+// manifest. A rebooted builder must not silently mix those stale segments
+// with fresh ones — NewWriter refuses the directory until the caller opts
+// into WriterOptions.ClearStale, and the cleared rebuild converges on a
+// store holding exactly the fresh pool.
+func TestWriterRefusesStaleBuild(t *testing.T) {
+	dir := t.TempDir()
+
+	// Crash a build mid-flight: three segments written, no manifest.
+	w, err := NewWriter(dir, WriterOptions{SegmentBallots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range fabricateBallots(1, 25, 2) {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Abort() // simulated crash: debris stays on disk
+	if segs, _ := filepath.Glob(filepath.Join(dir, "ballots-*.seg")); len(segs) == 0 {
+		t.Fatal("crash simulation left no segment files; test premise broken")
+	}
+
+	// Reboot: a fresh builder must refuse the debris...
+	if _, err := NewWriter(dir, WriterOptions{SegmentBallots: 10}); err == nil {
+		t.Fatal("NewWriter accepted a directory with leftover segment files and no manifest")
+	} else if !strings.Contains(err.Error(), "ClearStale") {
+		t.Fatalf("refusal should name the ClearStale escape hatch, got: %v", err)
+	}
+
+	// ...and the explicit ClearStale rebuild must produce a clean store:
+	// a *different* pool than the crashed build, so any surviving stale
+	// segment would corrupt the count or the contents.
+	w, err = NewWriter(dir, WriterOptions{SegmentBallots: 10, ClearStale: true})
+	if err != nil {
+		t.Fatalf("ClearStale rebuild: %v", err)
+	}
+	fresh := fabricateBallots(1, 42, 3)
+	for _, b := range fresh {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = seg.Close() }()
+	if seg.Count() != 42 {
+		t.Fatalf("rebuilt store holds %d ballots, want 42", seg.Count())
+	}
+	for _, b := range fresh {
+		checkBallot(t, seg, b)
+	}
+}
+
+// TestWriterRefusesOrphanManifestTmp: a crash between manifest write and
+// rename leaves MANIFEST.json.tmp — also build debris, also refused.
+func TestWriterRefusesOrphanManifestTmp(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName+".tmp"), []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWriter(dir, WriterOptions{}); err == nil {
+		t.Fatal("NewWriter accepted a directory with an orphaned manifest temp file")
+	}
+	w, err := NewWriter(dir, WriterOptions{ClearStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if _, err := os.Stat(filepath.Join(dir, ManifestName+".tmp")); !os.IsNotExist(err) {
+		t.Fatal("ClearStale did not remove the orphaned manifest temp file")
+	}
+}
+
+// TestStreamingBuildMemoryCeiling1M is the O(segment) claim at the
+// millions-of-ballots scale: stream one million fabricated ballots through
+// the Writer and bound the peak heap growth. The whole pool is ~400MB of
+// records; the writer must hold only the current record buffer, so heap
+// growth two orders of magnitude below the pool proves nothing accumulates.
+func TestStreamingBuildMemoryCeiling1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-ballot streaming build: skipped in -short")
+	}
+	const (
+		n       = 1_000_000
+		ceiling = 64 << 20 // 64MiB, vs ~400MB of pool records
+	)
+	dir := t.TempDir()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	peak := base
+
+	w, err := NewWriter(dir, WriterOptions{SegmentBallots: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		b := fabricateBallots(uint64(i)+1, 1, 2)[0] //nolint:gosec // positive
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if i%25_000 == 0 {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = seg.Close() }()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+
+	if seg.Count() != n {
+		t.Fatalf("store holds %d ballots, want %d", seg.Count(), n)
+	}
+	for _, serial := range []uint64{1, n / 2, n} {
+		got, err := seg.Get(serial)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", serial, err)
+		}
+		if got.Serial != serial {
+			t.Fatalf("Get(%d) returned serial %d", serial, got.Serial)
+		}
+	}
+	if grew := peak - base; grew > ceiling {
+		t.Fatalf("streaming build peak heap grew %dMiB, ceiling %dMiB — the build is not O(segment)",
+			grew>>20, ceiling>>20)
 	}
 }
