@@ -26,6 +26,9 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0,
 		"enable the batched message pipeline with this flush window (Fig4 sweeps; Fig5b always runs the batching ablation and uses this window when set)")
 	batchMax := flag.Int("batch-max", 0, "max messages per batch (0 = transport default)")
+	consensus := flag.String("consensus", "interlocked",
+		"vote-set-consensus engine for full-election runs: 'interlocked' or 'acs' (times the "+
+			"consensus phase of Fig5c on the chosen engine)")
 	flag.Parse()
 
 	tr := benchmark.TransportOptions{
@@ -62,7 +65,7 @@ func main() {
 		"5b": func() error {
 			return benchmark.Fig5b(os.Stdout, optionSweep, ballots, votes, 400, *batchWindow, *batchMax)
 		},
-		"5c": func() error { return benchmark.Fig5c(os.Stdout, casts, 4, 100) },
+		"5c": func() error { return benchmark.Fig5c(os.Stdout, casts, 4, 100, *consensus) },
 		"table1": func() error {
 			tcomp, avgVote, err := benchmark.VoteMetricsSample(benchmark.Config{
 				Ballots: 1000, Options: 4, VC: 4, Clients: 100, Votes: 1000, Seed: "table1",

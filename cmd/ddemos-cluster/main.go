@@ -50,8 +50,8 @@ type harnessConfig struct {
 	nv, nb, nt, threshold int
 	ballots               int
 	options               string
-	segments              bool
 	segmentBallots        int
+	consensus             string
 	rate                  float64
 	duration              time.Duration
 	workers               int
@@ -81,10 +81,9 @@ func run() int {
 	flag.IntVar(&cfg.threshold, "threshold", 0, "trustee threshold (0 = majority)")
 	flag.IntVar(&cfg.ballots, "ballots", 1000, "ballot pool size")
 	flag.StringVar(&cfg.options, "options", "yes,no", "comma-separated election options")
-	flag.BoolVar(&cfg.segments, "segments", true,
-		"EA emits per-VC segment directories the VCs open directly (the zero-copy setup handoff); "+
-			"false falls back to the deprecated whole-pool gob payloads")
 	flag.IntVar(&cfg.segmentBallots, "segment-ballots", 0, "ballots per EA-emitted segment file (0 = store default)")
+	flag.StringVar(&cfg.consensus, "consensus", "interlocked",
+		"vote-set-consensus engine passed to every VC: 'interlocked' or 'acs'")
 	flag.Float64Var(&cfg.rate, "rate", 200, "loadgen target rate, votes/sec")
 	flag.DurationVar(&cfg.duration, "duration", 60*time.Second, "loadgen schedule length")
 	flag.IntVar(&cfg.workers, "workers", 0, "loadgen in-flight bound (0 = loadgen default)")
@@ -280,7 +279,6 @@ func (o *orch) runElection(ctx context.Context) error {
 		"-threshold", fmt.Sprint(cfg.threshold),
 		"-start", start.Format(time.RFC3339),
 		"-end", end.Format(time.RFC3339),
-		fmt.Sprintf("-segments=%v", cfg.segments),
 	}
 	if cfg.segmentBallots > 0 {
 		eaArgs = append(eaArgs, "-segment-ballots", fmt.Sprint(cfg.segmentBallots))
@@ -292,19 +290,17 @@ func (o *orch) runElection(ctx context.Context) error {
 	if err := eaProc.wait(2 * time.Minute); err != nil {
 		return fmt.Errorf("ea setup: %w", err)
 	}
-	if cfg.segments {
-		// The zero-copy handoff contract: the EA emitted one pre-built
-		// segment directory per VC, and the VCs will open them directly
-		// (vc-<i>.gob names the directory, carries no inline pool). Verify
-		// here so a silent fallback to the legacy route fails the harness.
-		for i := 0; i < cfg.nv; i++ {
-			manifest := filepath.Join(electionDir, fmt.Sprintf("vc-%d-ballots", i), store.ManifestName)
-			if _, err := os.Stat(manifest); err != nil {
-				return fmt.Errorf("segment handoff: EA did not emit %s: %w", manifest, err)
-			}
+	// The zero-copy handoff contract: the EA emitted one pre-built segment
+	// directory per VC, and the VCs will open them directly (vc-<i>.gob
+	// names the directory, carries no inline pool). Verify here so a silent
+	// regression to inline pools fails the harness.
+	for i := 0; i < cfg.nv; i++ {
+		manifest := filepath.Join(electionDir, fmt.Sprintf("vc-%d-ballots", i), store.ManifestName)
+		if _, err := os.Stat(manifest); err != nil {
+			return fmt.Errorf("segment handoff: EA did not emit %s: %w", manifest, err)
 		}
-		log.Printf("cluster: EA emitted %d per-VC segment directories (zero-copy handoff)", cfg.nv)
 	}
+	log.Printf("cluster: EA emitted %d per-VC segment directories (zero-copy handoff)", cfg.nv)
 
 	// Port plan: TCP + HTTP per VC, HTTP per BB.
 	ports, err := freePorts(2*cfg.nv + cfg.nb)
@@ -455,6 +451,9 @@ func (o *orch) vcArgs(i int, peers []string) []string {
 		"-peers", strings.Join(peers, ","),
 		"-http", strings.TrimPrefix(o.vcURLs[i], "http://"),
 		"-bb", strings.Join(o.bbURLs, ","),
+	}
+	if cfg.consensus != "" && cfg.consensus != "interlocked" {
+		args = append(args, "-consensus", cfg.consensus)
 	}
 	if cfg.batchWindow > 0 {
 		args = append(args, "-batch-window", cfg.batchWindow.String())

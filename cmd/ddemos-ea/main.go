@@ -15,12 +15,11 @@
 //	bb.gob                  BB node initialization data (identical per node)
 //	trustee-<i>.gob         trustee i's private shares
 //
-// By default ballots stream straight to disk as they are generated — each
-// VC's pool lands in a vc-<i>-ballots/ segment directory (store.Writer) the
-// node opens directly, and ballots.gob/bb.gob/trustee-<i>.gob are gob
-// streams — so setup memory is O(segment), not O(pool). -legacy-payload
-// restores the previous whole-pool vc-<i>.gob files for old nodes; it is
-// kept for one release.
+// Ballots stream straight to disk as they are generated — each VC's pool
+// lands in a vc-<i>-ballots/ segment directory (store.Writer) the node
+// opens directly, and ballots.gob/bb.gob/trustee-<i>.gob are gob streams —
+// so setup memory is O(segment), not O(pool). The whole-pool -legacy-payload
+// route was removed after its one-release deprecation window.
 package main
 
 import (
@@ -52,9 +51,7 @@ func main() {
 	flag.IntVar(&cfg.ht, "threshold", 0, "trustee threshold (default majority)")
 	flag.StringVar(&cfg.startS, "start", "", "voting start, RFC3339 (default now)")
 	flag.StringVar(&cfg.endS, "end", "", "voting end, RFC3339 (default start+12h)")
-	flag.BoolVar(&cfg.segments, "segments", true, "emit per-VC segment directories (vc-<i>-ballots/) instead of inline pools")
 	flag.IntVar(&cfg.segmentBallots, "segment-ballots", store.DefaultSegmentBallots, "ballots per segment file")
-	flag.BoolVar(&cfg.legacyPayload, "legacy-payload", false, "write whole-pool vc-<i>.gob payloads (deprecated; one release)")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -69,9 +66,7 @@ type eaConfig struct {
 	options        string
 	nv, nb, nt, ht int
 	startS, endS   string
-	segments       bool
 	segmentBallots int
-	legacyPayload  bool
 
 	// electionID overrides the generated ID (tests and the cluster
 	// harness); empty means newElectionID(start).
@@ -127,9 +122,6 @@ func run(cfg eaConfig, w io.Writer) error {
 	}
 	if err := os.MkdirAll(cfg.out, 0o700); err != nil {
 		return err
-	}
-	if cfg.legacyPayload || !cfg.segments {
-		return runLegacy(cfg, p, w)
 	}
 	return runStreaming(cfg, p, w)
 }
@@ -269,43 +261,6 @@ func runStreaming(cfg eaConfig, p ddemos.Params, w io.Writer) error {
 			return fail(err)
 		}
 		wrote(fmt.Sprintf("vc-%d.gob", i))
-	}
-	return nil
-}
-
-// runLegacy materializes the whole pool in memory and writes the original
-// single-value gob payloads. Deprecated; kept for one release so old node
-// binaries can still be initialized.
-func runLegacy(cfg eaConfig, p ddemos.Params, w io.Writer) error {
-	data, err := ddemos.Setup(p)
-	if err != nil {
-		return fmt.Errorf("setup: %w", err)
-	}
-	write := func(name string, v any) error {
-		if err := httpapi.WriteGobFile(filepath.Join(cfg.out, name), v); err != nil {
-			return err
-		}
-		fmt.Fprintln(w, "wrote", filepath.Join(cfg.out, name))
-		return nil
-	}
-	if err := write("manifest.gob", &data.Manifest); err != nil {
-		return err
-	}
-	if err := write("ballots.gob", data.Ballots); err != nil {
-		return err
-	}
-	for i, v := range data.VC {
-		if err := write(fmt.Sprintf("vc-%d.gob", i), v); err != nil {
-			return err
-		}
-	}
-	if err := write("bb.gob", data.BB); err != nil {
-		return err
-	}
-	for i, t := range data.Trustees {
-		if err := write(fmt.Sprintf("trustee-%d.gob", i), t); err != nil {
-			return err
-		}
 	}
 	return nil
 }

@@ -45,7 +45,7 @@ func openOrBuildSegments(dir string, init *ea.VCInit, cacheBytes int64) (store.S
 	} else {
 		if len(init.Ballots) == 0 {
 			return nil, fmt.Errorf("segment dir %s has no %s and the init payload carries no inline pool — "+
-				"point the node at the EA-emitted segment directory (BallotsDir/-store-segments) or use a -legacy-payload init",
+				"point the node at the EA-emitted segment directory (BallotsDir/-store-segments)",
 				dir, store.ManifestName)
 		}
 		w, err := store.NewWriter(dir, store.WriterOptions{})
@@ -110,6 +110,10 @@ func main() {
 		"ballot-store cache budget in bytes (e.g. 67108864 for 64MiB): wraps the segmented store with "+
 			"an admission-controlled LRU with single-flight loading, so the protocol's per-ballot fan-in "+
 			"costs one positional read (0 = no cache; requires -store-segments)")
+	consensusEngine := flag.String("consensus", "interlocked",
+		"vote-set-consensus engine: 'interlocked' (the paper's per-ballot binary consensus) or "+
+			"'acs' (BKR common-subset: reliable broadcast per node + one binary agreement per "+
+			"broadcaster). Every node of a deployment must run the same engine")
 	journalPolicy := flag.String("journal-policy", "available",
 		"journal-append-error ack policy: 'available' counts errors and keeps serving from memory, "+
 			"'strict' refuses ENDORSEMENT replies and receipts whose record did not land "+
@@ -177,7 +181,11 @@ func main() {
 		// millions-of-ballots scale.
 		init.Ballots = nil
 	}
-	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep, Store: ballotStore})
+	engine, err := vc.ParseEngine(*consensusEngine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := vc.New(vc.Config{Init: &init, Endpoint: ep, Store: ballotStore, Engine: engine})
 	if err != nil {
 		log.Fatal(err)
 	}

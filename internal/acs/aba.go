@@ -1,0 +1,307 @@
+package acs
+
+import (
+	"ddemos/internal/clock"
+	"ddemos/internal/wire"
+)
+
+// maxRoundAhead bounds how far ahead of our current round we accept
+// messages, limiting memory a Byzantine flooder can consume.
+const maxRoundAhead = 8
+
+// abaInstance is one broadcaster's binary-agreement instance: the MMR
+// protocol of internal/consensus with late-binding input and an explicit
+// per-round COIN exchange. Round 0 is unused; an instance without input yet
+// sits at round 0 and buffers (bounded) early-round traffic.
+type abaInstance struct {
+	hasInput   bool
+	round      uint16
+	est        byte
+	decided    bool
+	halted     bool
+	value      byte
+	decideSent bool
+	decideFrom uint64
+	decideRecv [2]uint64
+	rounds     map[uint16]*roundState
+}
+
+type roundState struct {
+	bvalRecv    [2]uint64 // sender bitmasks per value
+	bvalSent    [2]bool
+	binValues   [2]bool
+	auxFrom     uint64
+	auxRecv     [2]uint64
+	auxSent     bool
+	coinFrom    uint64 // senders whose COIN reveal arrived
+	coinSent    bool
+	coinExpired bool // fallback timer fired; complete without f+1 reveals
+	coinTimer   clock.Timer
+}
+
+func newABAInstance() *abaInstance {
+	return &abaInstance{rounds: make(map[uint16]*roundState, 2)}
+}
+
+func (i *abaInstance) getRound(r uint16) *roundState {
+	if i.rounds == nil {
+		i.rounds = make(map[uint16]*roundState, 2)
+	}
+	rs, ok := i.rounds[r]
+	if !ok {
+		rs = &roundState{}
+		i.rounds[r] = rs
+	}
+	return rs
+}
+
+// provideInput starts an instance: 1 when its broadcaster's payload
+// delivered, 0 by the BKR completion rule. Later inputs are ignored.
+func (e *Engine) provideInput(idx uint32, v byte) {
+	inst := e.inst[idx]
+	if inst.hasInput || inst.halted || inst.decided {
+		return
+	}
+	inst.hasInput = true
+	inst.est = v
+	e.startRound(idx, inst, 1)
+}
+
+func (e *Engine) onABA(from uint16, m *wire.ABA) {
+	for gi := range m.Groups {
+		g := &m.Groups[gi]
+		if g.Value > 1 {
+			continue
+		}
+		for _, idx := range g.Instances {
+			if int(idx) >= e.n {
+				continue
+			}
+			e.deliverABA(from, idx, g.Step, g.Round, g.Value)
+		}
+	}
+}
+
+func (e *Engine) deliverABA(from uint16, idx uint32, step uint8, round uint16, value byte) {
+	inst := e.inst[idx]
+	if inst.halted {
+		return
+	}
+	switch step {
+	case wire.ABAStepEst:
+		e.onEst(from, idx, inst, round, value)
+	case wire.ABAStepAux:
+		e.onAux(from, idx, inst, round, value)
+	case wire.ABAStepCoin:
+		e.onCoin(from, idx, inst, round)
+	case wire.ABAStepDecide:
+		e.onDecide(from, idx, inst, value)
+	}
+}
+
+func (e *Engine) startRound(idx uint32, inst *abaInstance, round uint16) {
+	inst.round = round
+	r := inst.getRound(round)
+	if !r.bvalSent[inst.est] {
+		r.bvalSent[inst.est] = true
+		e.sendABA(idx, wire.ABAStepEst, round, inst.est)
+	}
+	// Messages for this round may have arrived while the instance was
+	// inputless or in an earlier round; thresholds could already hold.
+	e.progressRound(idx, inst, round)
+}
+
+func (e *Engine) onEst(from uint16, idx uint32, inst *abaInstance, round uint16, v byte) {
+	if round == 0 || round > inst.round+maxRoundAhead {
+		return
+	}
+	r := inst.getRound(round)
+	bit := uint64(1) << from
+	if r.bvalRecv[v]&bit != 0 {
+		return
+	}
+	r.bvalRecv[v] |= bit
+	cnt := popcount(r.bvalRecv[v])
+	// Relay after f+1 distinct ESTs (so honest values propagate), add to
+	// bin_values after 2f+1.
+	if cnt >= e.f+1 && !r.bvalSent[v] {
+		r.bvalSent[v] = true
+		e.sendABA(idx, wire.ABAStepEst, round, v)
+	}
+	if cnt >= 2*e.f+1 && !r.binValues[v] {
+		r.binValues[v] = true
+		e.progressRound(idx, inst, round)
+	}
+}
+
+func (e *Engine) onAux(from uint16, idx uint32, inst *abaInstance, round uint16, v byte) {
+	if round == 0 || round > inst.round+maxRoundAhead {
+		return
+	}
+	r := inst.getRound(round)
+	bit := uint64(1) << from
+	if r.auxFrom&bit != 0 {
+		return // one AUX per sender per round
+	}
+	r.auxFrom |= bit
+	r.auxRecv[v] |= bit
+	e.progressRound(idx, inst, round)
+}
+
+func (e *Engine) onCoin(from uint16, idx uint32, inst *abaInstance, round uint16) {
+	if round == 0 || round > inst.round+maxRoundAhead {
+		return
+	}
+	r := inst.getRound(round)
+	bit := uint64(1) << from
+	if r.coinFrom&bit != 0 {
+		return
+	}
+	r.coinFrom |= bit
+	e.progressRound(idx, inst, round)
+}
+
+// progressRound advances an instance's current round through its three
+// gates: bin_values non-empty triggers the AUX broadcast; n-f covered AUXes
+// trigger the COIN reveal; f+1 reveals (or the fallback) complete the round.
+func (e *Engine) progressRound(idx uint32, inst *abaInstance, round uint16) {
+	if inst.halted || !inst.hasInput || round != inst.round {
+		return
+	}
+	r := inst.getRound(round)
+	if !r.auxSent {
+		w := byte(255)
+		switch {
+		case r.binValues[inst.est]:
+			w = inst.est // prefer own estimate when certified
+		case r.binValues[0]:
+			w = 0
+		case r.binValues[1]:
+			w = 1
+		}
+		if w != 255 {
+			r.auxSent = true
+			e.sendABA(idx, wire.ABAStepAux, round, w)
+			// Self-delivery may have cascaded the instance past this round.
+			if inst.halted || round != inst.round {
+				return
+			}
+		}
+	}
+	if !r.auxSent {
+		return
+	}
+	// Count AUX messages whose value is in bin_values.
+	var covered uint64
+	vals := [2]bool{}
+	for v := byte(0); v <= 1; v++ {
+		if r.binValues[v] && r.auxRecv[v] != 0 {
+			covered |= r.auxRecv[v]
+			vals[v] = true
+		}
+	}
+	if popcount(covered) < e.n-e.f {
+		return
+	}
+	c := e.coin.Flip(idx, round)
+	if !r.coinSent {
+		r.coinSent = true
+		e.sendABA(idx, wire.ABAStepCoin, round, c)
+		// Self-delivery above may have cascaded the instance past this
+		// round; do not complete it twice from a stale frame.
+		if inst.halted || round != inst.round {
+			return
+		}
+		// Arm the fallback so a round never hangs on reveals lost to the
+		// network: the flip value is locally computable regardless.
+		r.coinTimer = clock.AfterFunc(e.clk, coinFallback, func() {
+			e.mu.Lock()
+			if !inst.halted && !r.coinExpired {
+				r.coinExpired = true
+				e.progressRound(idx, inst, round)
+			}
+			frames := e.drainLocked()
+			e.mu.Unlock()
+			e.emit(frames)
+		})
+	}
+	if popcount(r.coinFrom) < e.f+1 && !r.coinExpired {
+		return
+	}
+	if r.coinTimer != nil {
+		r.coinTimer.Stop()
+		r.coinTimer = nil
+	}
+	// Round completes.
+	switch {
+	case vals[0] != vals[1]: // single value v
+		var v byte
+		if vals[1] {
+			v = 1
+		}
+		inst.est = v
+		if v == c && !inst.decided {
+			e.decide(idx, inst, v)
+		}
+	default: // both values seen
+		inst.est = c
+	}
+	if inst.halted {
+		return
+	}
+	delete(inst.rounds, round-1)
+	e.startRound(idx, inst, round+1)
+}
+
+func (e *Engine) decide(idx uint32, inst *abaInstance, v byte) {
+	if inst.decided {
+		return
+	}
+	inst.decided = true
+	inst.value = v
+	e.pending--
+	if v == 1 {
+		e.ones++
+	}
+	if !inst.decideSent {
+		inst.decideSent = true
+		e.sendABA(idx, wire.ABAStepDecide, 0, v)
+	}
+	// BKR completion rule: once n-f instances carry the subset, input 0 to
+	// every instance still waiting on a broadcast that may never arrive.
+	if e.ones >= e.n-e.f && !e.filled {
+		e.filled = true
+		for i, other := range e.inst {
+			if !other.hasInput {
+				e.provideInput(uint32(i), 0) //nolint:gosec // i < n <= 64
+			}
+		}
+	}
+	e.checkOutput()
+}
+
+func (e *Engine) onDecide(from uint16, idx uint32, inst *abaInstance, v byte) {
+	bit := uint64(1) << from
+	if inst.decideFrom&bit != 0 {
+		return
+	}
+	inst.decideFrom |= bit
+	inst.decideRecv[v] |= bit
+	cnt := popcount(inst.decideRecv[v])
+	// f+1 DECIDEs contain one from an honest decider: safe to adopt.
+	if cnt >= e.f+1 && !inst.decided {
+		e.decide(idx, inst, v)
+	}
+	// 2f+1 DECIDEs mean every honest node will eventually decide without
+	// our help: halt the instance.
+	if cnt >= 2*e.f+1 {
+		inst.halted = true
+		for _, r := range inst.rounds {
+			if r.coinTimer != nil {
+				r.coinTimer.Stop()
+				r.coinTimer = nil
+			}
+		}
+		inst.rounds = nil
+	}
+}

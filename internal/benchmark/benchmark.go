@@ -59,7 +59,12 @@ type Config struct {
 	// JournalPool shards the journal into this many WAL lanes when > 1
 	// (the Fig. 5a pool knob applied to runtime state; requires WAL).
 	JournalPool int
-	Seed        string
+	// Consensus selects the vote-set-consensus engine every VC node runs:
+	// "interlocked" (default) or "acs". Collection-only runs never reach the
+	// engine, but validating it here keeps a typo from surviving until the
+	// consensus phase of a long election benchmark.
+	Consensus string
+	Seed      string
 	// TransportOptions selects the inter-VC channel configuration (the
 	// batched-vs-unbatched ablation of Fig. 5b).
 	TransportOptions
@@ -127,6 +132,7 @@ func Run(cfg Config) (*Result, error) {
 		Authenticated:    cfg.Authenticated,
 		BatchWindow:      cfg.BatchWindow,
 		BatchMaxMessages: cfg.BatchMaxMessages,
+		Consensus:        cfg.Consensus,
 	}
 	if cfg.WAN {
 		lp := transport.WANProfile
@@ -249,7 +255,11 @@ type PhasesConfig struct {
 	Options int
 	VC      int
 	Clients int
-	Seed    string
+	// Consensus selects the vote-set-consensus engine ("interlocked"
+	// default or "acs") — the knob behind the Fig. 5c consensus-phase
+	// series, since the phase pipeline is the one benchmark that times it.
+	Consensus string
+	Seed      string
 }
 
 // PhasesResult is the duration of each system phase (Fig. 5c's series).
@@ -284,7 +294,7 @@ func RunPhases(cfg PhasesConfig) (*PhasesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := core.NewCluster(data, core.Options{})
+	cluster, err := core.NewCluster(data, core.Options{Consensus: cfg.Consensus})
 	if err != nil {
 		return nil, err
 	}

@@ -96,6 +96,14 @@ func Fig5a(w io.Writer, pools []int, votes, clients int) error {
 }
 
 // label annotates a figure header with the non-default channel setup.
+// engineLabel names the vote-set-consensus engine for figure headers.
+func engineLabel(consensus string) string {
+	if consensus == "" {
+		return "interlocked"
+	}
+	return consensus
+}
+
 func (tr TransportOptions) label() string {
 	switch {
 	case tr.Authenticated && tr.BatchWindow > 0:
@@ -237,14 +245,16 @@ func PrintWALAblation(w io.Writer, row WALAblationRow) {
 }
 
 // Fig5c runs the phase-duration breakdown.
-func Fig5c(w io.Writer, casts []int, options, clients int) error {
-	fmt.Fprintf(w, "# Fig5c: phase durations vs ballots cast (m=%d, 4 VC, 3 BB, 3 trustees)\n", options)
+func Fig5c(w io.Writer, casts []int, options, clients int, consensus string) error {
+	fmt.Fprintf(w, "# Fig5c: phase durations vs ballots cast (m=%d, 4 VC, 3 BB, 3 trustees, %s consensus)\n",
+		options, engineLabel(consensus))
 	fmt.Fprintf(w, "%-10s %-14s %-14s %-14s %-14s\n",
 		"#cast", "collect(s)", "consensus(s)", "push+tally(s)", "publish(s)")
 	for _, n := range casts {
 		res, err := RunPhases(PhasesConfig{
 			Ballots: n, Options: options, VC: 4, Clients: clients,
-			Seed: fmt.Sprintf("fig5c-%d", n),
+			Consensus: consensus,
+			Seed:      fmt.Sprintf("fig5c-%d", n),
 		})
 		if err != nil {
 			return fmt.Errorf("fig5c n=%d: %w", n, err)

@@ -98,6 +98,10 @@ type Options struct {
 	// JournalPolicy selects the journal-append-error ack policy
 	// (vc.PolicyAvailable or vc.PolicyStrict).
 	JournalPolicy vc.AckPolicy
+	// Consensus selects the vote-set-consensus engine for every VC node:
+	// "interlocked" (default, the paper's per-ballot protocol) or "acs"
+	// (BKR common-subset; see vc.ParseEngine).
+	Consensus string
 }
 
 // Cluster is a fully wired in-process election deployment.
@@ -249,12 +253,17 @@ func (c *Cluster) buildVC(i int) (*vc.Node, error) {
 		}
 		st = cached
 	}
+	engine, err := vc.ParseEngine(opts.Consensus)
+	if err != nil {
+		return nil, err
+	}
 	node, err := vc.New(vc.Config{
 		Init:      data.VC[i],
 		Store:     st,
 		Endpoint:  ep,
 		Clock:     c.Clock,
 		Coin:      consensus.NewHashCoin([]byte(man.ElectionID)),
+		Engine:    engine,
 		Byzantine: opts.VCByzantine[i],
 		Workers:   opts.Workers,
 	})

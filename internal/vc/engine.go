@@ -1,0 +1,149 @@
+package vc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ddemos/internal/acs"
+	"ddemos/internal/clock"
+	"ddemos/internal/consensus"
+	"ddemos/internal/wire"
+)
+
+// ConsensusEngine decides, per ballot, whether it belongs in the agreed vote
+// set. It is the replaceable core of VoteSetConsensus: the surrounding
+// protocol — ANNOUNCE dispersal, the restart-recovery channel (dup-ANNOUNCE
+// echo, VSC-FINAL adoption), RECOVER for missing codes, and the journaled
+// result — is engine-agnostic and lives in vsc.go.
+//
+// Lifecycle: the engine is constructed when consensus is installed (so it
+// can absorb traffic from peers that raced ahead), Start is called once the
+// announce quorum is in, and Results blocks for the decision vector: one
+// 0/1 byte per ballot, index serial-1. All honest nodes' engines must
+// return identical vectors. Handle receives every engine-kind frame routed
+// to the node; engines ignore kinds they do not speak.
+type ConsensusEngine interface {
+	// Start begins agreement. proposal is this node's certified vote set as
+	// it would announce it; inputs is the per-ballot 0/1 vector derived from
+	// it. Engines use whichever representation their protocol binds to.
+	Start(proposal []wire.AnnounceEntry, inputs []byte) error
+	// Handle processes one inbound engine frame from peer `from`.
+	Handle(from uint16, msg wire.Message)
+	// Results blocks until every ballot is decided.
+	Results(ctx context.Context) ([]byte, error)
+}
+
+// EngineConfig is everything a consensus engine may depend on, injected so
+// engines stay free of node internals (and of this package: internal/acs
+// satisfies ConsensusEngine without importing vc).
+type EngineConfig struct {
+	N, F    int    // cluster size and fault bound
+	Self    uint16 // this node's index
+	Ballots uint32 // ballot pool size
+
+	Coin  consensus.Coin // shared deterministic coin
+	Clock clock.Clock    // the node's (possibly virtual) timer domain
+
+	// Send multicasts an encoded frame to the other N-1 nodes.
+	Send func(frame []byte)
+	// Validate is a pure check that an announce entry carries a well-formed
+	// uniqueness certificate — identical at every honest node.
+	Validate func(entry *wire.AnnounceEntry) bool
+	// Adopt installs a certified code into the node and its journal.
+	Adopt func(entry *wire.AnnounceEntry) bool
+}
+
+// EngineFactory builds a ConsensusEngine for one election run.
+type EngineFactory func(cfg EngineConfig) (ConsensusEngine, error)
+
+// ParseEngine resolves a -consensus flag value to a factory. The empty
+// string selects the paper's interlocked protocol.
+func ParseEngine(name string) (EngineFactory, error) {
+	switch name {
+	case "", "interlocked":
+		return InterlockedEngine, nil
+	case "acs":
+		return ACSEngine, nil
+	default:
+		return nil, fmt.Errorf("vc: unknown consensus engine %q (want interlocked or acs)", name)
+	}
+}
+
+// InterlockedEngine is the paper's §III-E protocol: one binary-consensus
+// instance per ballot, batched (internal/consensus), seeded by the ANNOUNCE
+// dispersal the engine-agnostic layer already ran.
+func InterlockedEngine(cfg EngineConfig) (ConsensusEngine, error) {
+	batch, err := consensus.NewBatch(cfg.N, cfg.F, cfg.Self, cfg.Ballots, cfg.Coin, func(m *wire.Consensus) {
+		cfg.Send(wire.Encode(m))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &interlockedEngine{batch: batch}, nil
+}
+
+// ACSEngine is the BKR Agreement-on-Common-Subset engine (internal/acs):
+// reliable broadcast of each node's candidate set plus one binary-agreement
+// instance per broadcaster.
+func ACSEngine(cfg EngineConfig) (ConsensusEngine, error) {
+	return acs.New(acs.Config{
+		N: cfg.N, F: cfg.F, Self: cfg.Self, Ballots: cfg.Ballots,
+		Coin: cfg.Coin, Clock: cfg.Clock,
+		Send: cfg.Send, Validate: cfg.Validate, Adopt: cfg.Adopt,
+	})
+}
+
+// interlockedEngine adapts consensus.Batch to the engine interface. The
+// batch drops traffic that arrives before Start, so frames are buffered
+// until then (peers that reached their announce quorum first start early).
+type interlockedEngine struct {
+	batch *consensus.Batch
+
+	mu           sync.Mutex
+	started      bool
+	preStart     []*wire.Consensus
+	preStartFrom []uint16
+}
+
+// Start implements ConsensusEngine: the proposal is unused — the batch
+// binds to the per-ballot inputs vector.
+func (e *interlockedEngine) Start(_ []wire.AnnounceEntry, inputs []byte) error {
+	if err := e.batch.Start(inputs); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	msgs := e.preStart
+	froms := e.preStartFrom
+	e.preStart, e.preStartFrom = nil, nil
+	e.started = true
+	e.mu.Unlock()
+	for i, m := range msgs {
+		e.batch.Handle(froms[i], m)
+	}
+	return nil
+}
+
+// Handle implements ConsensusEngine.
+func (e *interlockedEngine) Handle(from uint16, msg wire.Message) {
+	m, ok := msg.(*wire.Consensus)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	if !e.started {
+		if len(e.preStart) < maxVscBuffer {
+			e.preStart = append(e.preStart, m)
+			e.preStartFrom = append(e.preStartFrom, from)
+		}
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	e.batch.Handle(from, m)
+}
+
+// Results implements ConsensusEngine.
+func (e *interlockedEngine) Results(ctx context.Context) ([]byte, error) {
+	return e.batch.Results(ctx)
+}

@@ -88,6 +88,9 @@ type Config struct {
 	Clock clock.Clock
 	// Coin defaults to a hash coin derived from the election ID.
 	Coin consensus.Coin
+	// Engine selects the vote-set-consensus engine (see ParseEngine);
+	// defaults to the paper's interlocked protocol.
+	Engine EngineFactory
 	// Byzantine selects fault injection (tests only).
 	Byzantine Byzantine
 	// Workers sizes the message-processing pool (default 8).
@@ -108,6 +111,7 @@ type Node struct {
 	ep       transport.Endpoint
 	clk      clock.Clock
 	coin     consensus.Coin
+	engine   EngineFactory
 	byz      Byzantine
 	peers    []transport.NodeID
 
@@ -227,6 +231,7 @@ func New(cfg Config) (*Node, error) {
 		ep:       cfg.Endpoint,
 		clk:      cfg.Clock,
 		coin:     cfg.Coin,
+		engine:   cfg.Engine,
 		byz:      cfg.Byzantine,
 		done:     make(chan struct{}),
 
@@ -240,6 +245,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if n.coin == nil {
 		n.coin = consensus.NewHashCoin([]byte(man.ElectionID))
+	}
+	if n.engine == nil {
+		n.engine = InterlockedEngine
 	}
 	for i := range n.shards {
 		n.shards[i].ballots = make(map[uint64]*ballotState)
@@ -381,7 +389,8 @@ func (n *Node) stage(from uint16, msg wire.Message, byWorker [][]job) int {
 		serial = m.Serial
 	case *wire.VoteP:
 		serial = m.Serial
-	case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse, *wire.VSCFinal:
+	case *wire.Announce, *wire.Consensus, *wire.RecoverRequest, *wire.RecoverResponse, *wire.VSCFinal,
+		*wire.RBCEcho, *wire.RBCReady, *wire.ABA:
 		n.routeConsensus(from, msg)
 		return 0
 	default:

@@ -484,11 +484,15 @@ func certCodes(n *Node) map[uint64]string {
 // consensus* and recovers it mid-protocol. The collection phase completes
 // cleanly first (consensus assumes reliable channels, so the link drops
 // nothing; the restart itself is the fault), then all nodes run consensus
-// while a seed-drawn schedule kills and revives the target. Asserts: the
-// recovered node re-announces exactly its journaled certified set (ANNOUNCE
-// replay from recovered certs), every node — the recovered one included —
-// returns a byte-identical vote set, and recovery stays idempotent after
-// the result landed.
+// while a seed-drawn schedule kills and revives the target. The consensus
+// engine rotates with the seed (sweepEngine), so half the schedules kill a
+// node mid-RBC/ABA and recovery must work identically: peers complete on
+// n−f quorums without the dead node, and the restarted node converges via
+// the engine-agnostic ANNOUNCE/VSC-FINAL path. Asserts: the recovered node
+// re-announces exactly its journaled certified set (ANNOUNCE replay from
+// recovered certs), every node — the recovered one included — returns a
+// byte-identical vote set, and recovery stays idempotent after the result
+// landed.
 func runConsensusRestartScenario(t *testing.T, seed uint64, stats *sweepStats) {
 	const (
 		numVC      = 4
@@ -496,8 +500,9 @@ func runConsensusRestartScenario(t *testing.T, seed uint64, stats *sweepStats) {
 	)
 	rng := rand.New(rand.NewPCG(seed, 0xC025)) //nolint:gosec // test schedule only
 	lp := transport.LinkProfile{Latency: 200 * time.Microsecond, Jitter: time.Millisecond, DupRate: 0.10}
-	c := newSimClusterJ(t, seed, nil, numBallots, numVC, lp, sweepStack(seed),
-		journalDirs(t, numVC), sweepJournalOptions(seed))
+	_, engine := sweepEngine(seed)
+	c := newSimClusterJE(t, seed, nil, numBallots, numVC, lp, sweepStack(seed),
+		journalDirs(t, numVC), sweepJournalOptions(seed), engine)
 
 	// Collection: every ballot voted, no faults active. A submission can
 	// still time out virtually when a loaded -race runner starves the

@@ -49,7 +49,7 @@ func newSimCluster(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots,
 	return newSimClusterJ(t, seed, byz, numBallots, numVC, lp, stack, journalDirs(t, numVC), jopts)
 }
 
-// newSimClusterJ is the fully explicit constructor: per-node journal
+// newSimClusterJ is the journal-explicit constructor: per-node journal
 // directories (nil = memory-only cluster, "" = memory-only node) and the
 // journal engine options every (re)start uses — the lever the backend
 // sweeps and the pooled-engine scenarios turn.
@@ -57,6 +57,17 @@ func newSimClusterJ(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots
 	lp transport.LinkProfile,
 	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint,
 	dirs []string, jopts JournalOptions) *cluster {
+	return newSimClusterJE(t, seed, byz, numBallots, numVC, lp, stack, dirs, jopts, nil)
+}
+
+// newSimClusterJE additionally selects the vote-set-consensus engine every
+// node (and every restart incarnation) runs — nil means the paper's
+// interlocked protocol. The engine-differential and engine-rotation sweeps
+// are the callers that set it.
+func newSimClusterJE(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots, numVC int,
+	lp transport.LinkProfile,
+	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint,
+	dirs []string, jopts JournalOptions, engine EngineFactory) *cluster {
 	t.Helper()
 	start := time.Date(2026, 6, 10, 8, 0, 0, 0, time.UTC)
 	data, err := ea.Setup(ea.Params{
@@ -81,14 +92,15 @@ func newSimClusterJ(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots
 		dirs = make([]string, numVC)
 	}
 	c := &cluster{
-		t:     t,
-		data:  data,
-		net:   net,
-		drv:   drv,
-		byz:   byz,
-		stack: stack,
-		dirs:  dirs,
-		jopts: jopts,
+		t:      t,
+		data:   data,
+		net:    net,
+		drv:    drv,
+		byz:    byz,
+		engine: engine,
+		stack:  stack,
+		dirs:   dirs,
+		jopts:  jopts,
 	}
 	for i := 0; i < numVC; i++ {
 		ep := stack(i, data, c.net.Endpoint(transport.NodeID(i)), drv)
@@ -97,6 +109,7 @@ func newSimClusterJ(t *testing.T, seed uint64, byz map[int]Byzantine, numBallots
 			Endpoint:  ep,
 			Clock:     drv,
 			Byzantine: byz[i],
+			Engine:    engine,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -30,11 +30,12 @@ type cluster struct {
 	mu    sync.Mutex
 	nodes []*Node
 
-	dirs  []string
-	jopts JournalOptions    // journal engine config for journaled nodes
-	flip  map[int]Byzantine // behaviour applied from the next restart on
-	byz   map[int]Byzantine
-	stack func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint
+	dirs   []string
+	jopts  JournalOptions    // journal engine config for journaled nodes
+	flip   map[int]Byzantine // behaviour applied from the next restart on
+	byz    map[int]Byzantine
+	engine EngineFactory // vote-set-consensus engine (nil = interlocked)
+	stack  func(i int, data *ea.ElectionData, ep transport.Endpoint, tm clock.Timers) transport.Endpoint
 }
 
 // Crash, Restore and Partition implement sim.Surface for scenario runs.
@@ -73,6 +74,7 @@ func (c *cluster) RestartNode(i int) {
 		Endpoint:  ep,
 		Clock:     c.drv,
 		Byzantine: mode,
+		Engine:    c.engine,
 	})
 	if err != nil {
 		c.t.Errorf("restart vc %d: %v", i, err)

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"ddemos/internal/clock"
-	"ddemos/internal/consensus"
 	"ddemos/internal/ea"
 	"ddemos/internal/sig"
 	"ddemos/internal/transport"
@@ -83,15 +82,21 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 		missing:       make(map[uint64]bool),
 		missingDone:   make(chan struct{}, 1),
 	}
-	batch, err := consensus.NewBatch(n.nv, n.fv, n.self, count, n.coin, func(m *wire.Consensus) {
-		if err := transport.Multicast(n.ep, n.peers, wire.Encode(m)); err != nil {
-			n.metrics.SendErrors.Add(1)
-		}
+	eng, err := n.engine(EngineConfig{
+		N: n.nv, F: n.fv, Self: n.self, Ballots: count,
+		Coin: n.coin, Clock: n.clk,
+		Send: func(frame []byte) {
+			if err := transport.Multicast(n.ep, n.peers, frame); err != nil {
+				n.metrics.SendErrors.Add(1)
+			}
+		},
+		Validate: n.validEntry,
+		Adopt:    n.adoptEntry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	e.batch = batch
+	e.eng = eng
 
 	// Install the engine and replay traffic that arrived early.
 	n.vscMu.Lock()
@@ -147,30 +152,34 @@ func (n *Node) VoteSetConsensus(ctx context.Context) ([]VotedBallot, error) {
 		return nil, ErrStopped
 	}
 
-	// Step 3: binary consensus per ballot. Input 1 iff a certified code is
-	// locally known.
+	// Step 3: agreement on the vote set through the selected engine. The
+	// proposal is the node's certified set (enriched by adopted announces);
+	// the inputs vector marks, per ballot, whether a certified code is
+	// locally known — each engine binds to the representation its protocol
+	// uses.
+	proposal := n.certifiedEntries()
 	inputs := make([]byte, count)
 	n.forEachCertified(func(serial uint64, _ []byte) {
 		inputs[serial-1] = 1
 	})
 	if n.byz == ConsensusLiar {
+		proposal = nil
 		for i := range inputs {
 			inputs[i] = 1 - inputs[i]
 		}
 	}
-	if err := e.batch.Start(inputs); err != nil {
+	if err := e.eng.Start(proposal, inputs); err != nil {
 		return nil, err
 	}
-	e.markStarted()
-	// The batch wait runs under a cancellable child context so the waiter
+	// The engine wait runs under a cancellable child context so the waiter
 	// goroutine always exits when VSC-FINAL adoption or shutdown wins the
 	// select below — without it, a caller context with no deadline would
-	// leak the goroutine (and pin the batch) forever.
+	// leak the goroutine (and pin the engine) forever.
 	rctx, rcancel := context.WithCancel(ctx)
 	defer rcancel()
 	resCh := make(chan batchResult, 1)
 	go func() {
-		decisions, err := e.batch.Results(rctx)
+		decisions, err := e.eng.Results(rctx)
 		resCh <- batchResult{decisions, err}
 	}()
 	var decisions []byte
@@ -280,8 +289,22 @@ func (n *Node) forEachCertified(fn func(serial uint64, code []byte)) {
 	}
 }
 
-// adoptEntry installs a certified code learned from a peer (ANNOUNCE or
-// RECOVER-RESPONSE). Returns false for invalid entries.
+// validEntry reports whether an announce entry carries a well-formed
+// uniqueness certificate for an in-range ballot. It is a pure function of
+// the entry and the (shared) manifest — no node-local state — so every
+// honest node judges an entry identically; the ACS engine relies on this to
+// filter delivered proposals deterministically.
+func (n *Node) validEntry(entry *wire.AnnounceEntry) bool {
+	if entry.Serial == 0 || entry.Serial > uint64(n.manifest.NumBallots) {
+		return false
+	}
+	cert := entry.Cert
+	return cert.Serial == entry.Serial && string(cert.Code) == string(entry.Code) && n.VerifyUCert(&cert)
+}
+
+// adoptEntry installs a certified code learned from a peer (ANNOUNCE,
+// RECOVER-RESPONSE, or an ACS reliable-broadcast payload). Returns false
+// for invalid entries.
 func (n *Node) adoptEntry(entry *wire.AnnounceEntry) bool {
 	if entry.Serial == 0 || entry.Serial > uint64(n.manifest.NumBallots) {
 		return false
@@ -294,7 +317,7 @@ func (n *Node) adoptEntry(entry *wire.AnnounceEntry) bool {
 		return true // UCERT uniqueness: it must be the same code
 	}
 	cert := entry.Cert
-	if cert.Serial != entry.Serial || string(cert.Code) != string(entry.Code) || !n.VerifyUCert(&cert) {
+	if !n.validEntry(entry) {
 		return false
 	}
 	var installed bool
@@ -316,18 +339,17 @@ func (n *Node) adoptEntry(entry *wire.AnnounceEntry) bool {
 	return true
 }
 
-// vscEngine holds the in-flight vote-set-consensus state.
+// vscEngine holds the in-flight vote-set-consensus state that is common to
+// every ConsensusEngine: announce bookkeeping, the VSC-FINAL adoption
+// channel, and missing-code recovery. Engine-kind frames route to eng.
 type vscEngine struct {
-	n     *Node
-	batch *consensus.Batch
+	n   *Node
+	eng ConsensusEngine
 
 	mu            sync.Mutex
 	announceFrom  map[uint16]bool
 	announceReady chan struct{}
 	readyClosed   bool
-	started       bool
-	preStart      []*wire.Consensus
-	preStartFrom  []uint16
 	echoed        map[uint16]bool // peers already sent an ANNOUNCE echo
 
 	finalMu   sync.Mutex
@@ -411,8 +433,8 @@ func (e *vscEngine) handle(from uint16, msg wire.Message) {
 	switch m := msg.(type) {
 	case *wire.Announce:
 		e.onAnnounce(from, m)
-	case *wire.Consensus:
-		e.onConsensus(from, m)
+	case *wire.Consensus, *wire.RBCEcho, *wire.RBCReady, *wire.ABA:
+		e.eng.Handle(from, msg)
 	case *wire.RecoverRequest:
 		e.onRecoverRequest(from, m)
 	case *wire.RecoverResponse:
@@ -507,33 +529,6 @@ func (e *vscEngine) onVSCFinal(from uint16, m *wire.VSCFinal) {
 	if bits.OnesCount64(t.senders) >= n.fv+1 && !e.finalSent {
 		e.finalSent = true
 		e.finalCh <- append([]VotedBallot(nil), t.set...)
-	}
-}
-
-// onConsensus forwards to the batch, buffering until Start (the batch drops
-// pre-start traffic).
-func (e *vscEngine) onConsensus(from uint16, m *wire.Consensus) {
-	e.mu.Lock()
-	if !e.started {
-		e.preStart = append(e.preStart, m)
-		e.preStartFrom = append(e.preStartFrom, from)
-		e.mu.Unlock()
-		return
-	}
-	e.mu.Unlock()
-	e.batch.Handle(from, m)
-}
-
-// markStarted flushes buffered consensus messages into the started batch.
-func (e *vscEngine) markStarted() {
-	e.mu.Lock()
-	msgs := e.preStart
-	froms := e.preStartFrom
-	e.preStart, e.preStartFrom = nil, nil
-	e.started = true
-	e.mu.Unlock()
-	for i, m := range msgs {
-		e.batch.Handle(froms[i], m)
 	}
 }
 

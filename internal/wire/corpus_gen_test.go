@@ -31,6 +31,7 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	names := []string{
 		"seed-endorse", "seed-endorsement", "seed-votep", "seed-announce",
 		"seed-recover-request", "seed-recover-response", "seed-consensus",
+		"seed-rbc-echo", "seed-rbc-ready", "seed-aba",
 		"seed-batch", "seed-empty", "seed-unknown-kind", "seed-truncated",
 	}
 	if len(names) != len(frames) {
@@ -43,8 +44,21 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 	trailing := append(append([]byte(nil), endorse...), 0x00)
 	write("FuzzDecode", "seed-trailing-bytes", trailing)
 
+	acsNames := []string{
+		"seed-rbc-echo", "seed-rbc-ready", "seed-aba",
+		"seed-rbc-echo-empty", "seed-aba-decide",
+		"seed-aba-bare-kind", "seed-rbc-ready-truncated", "seed-aba-trailing",
+	}
+	acsFrames := acsSeedFrames()
+	if len(acsNames) != len(acsFrames) {
+		t.Fatalf("have %d ACS seed frames for %d names", len(acsFrames), len(acsNames))
+	}
+	for i, name := range acsNames {
+		write("FuzzACSDecode", name, acsFrames[i])
+	}
+
 	batchOf1 := Encode(&Batch{Frames: [][]byte{endorse}})
-	write("FuzzSplitBatch", "seed-batch-3", frames[7])
+	write("FuzzSplitBatch", "seed-batch-3", frames[10])
 	write("FuzzSplitBatch", "seed-batch-1", batchOf1)
 	write("FuzzSplitBatch", "seed-batch-empty", Encode(&Batch{}))
 	write("FuzzSplitBatch", "seed-not-a-batch", endorse)

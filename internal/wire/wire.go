@@ -32,6 +32,9 @@ const (
 	KindConsensus
 	KindBatch
 	KindVSCFinal
+	KindRBCEcho
+	KindRBCReady
+	KindABA
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +58,12 @@ func (k Kind) String() string {
 		return "BATCH"
 	case KindVSCFinal:
 		return "VSC-FINAL"
+	case KindRBCEcho:
+		return "RBC-ECHO"
+	case KindRBCReady:
+		return "RBC-READY"
+	case KindABA:
+		return "ABA"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -106,6 +115,12 @@ func Decode(frame []byte) (Message, error) {
 		m = decodeBatch(r)
 	case KindVSCFinal:
 		m = decodeVSCFinal(r)
+	case KindRBCEcho:
+		m = decodeRBCEcho(r)
+	case KindRBCReady:
+		m = decodeRBCReady(r)
+	case KindABA:
+		m = decodeABA(r)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, frame[0])
 	}
@@ -570,6 +585,147 @@ func decodeConsensus(r *reader) *Consensus {
 	m.Groups = make([]ConsensusGroup, 0, n)
 	for i := 0; i < n; i++ {
 		g := ConsensusGroup{
+			Step:  r.u8("step"),
+			Value: r.u8("value"),
+			Round: r.u16("round"),
+		}
+		cnt := r.count("instances")
+		if r.err != nil {
+			return m
+		}
+		g.Instances = make([]uint32, 0, cnt)
+		for j := 0; j < cnt; j++ {
+			g.Instances = append(g.Instances, r.u32("instance"))
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	return m
+}
+
+// --- ACS engine messages (reliable broadcast + ABA) -------------------------
+
+// RBCEcho is the ECHO step of the Bracha reliable broadcast the ACS engine
+// uses to disperse each node's candidate vote set. The broadcaster's own
+// ECHO (Sender == Broadcaster) doubles as the SEND step: carrying the full
+// entry payload in every ECHO costs one extra fan-out over hash-based
+// echoing but removes the payload-fetch round a hash echo would need.
+type RBCEcho struct {
+	Sender      uint16
+	Broadcaster uint16
+	Entries     []AnnounceEntry
+}
+
+// Kind implements Message.
+func (*RBCEcho) Kind() Kind { return KindRBCEcho }
+
+func (m *RBCEcho) appendBody(dst []byte) []byte {
+	dst = appendU16(dst, m.Sender)
+	dst = appendU16(dst, m.Broadcaster)
+	dst = appendU32(dst, uint32(len(m.Entries))) //nolint:gosec // protocol-bounded
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		dst = appendU64(dst, e.Serial)
+		dst = appendBytes(dst, e.Code)
+		dst = appendUCert(dst, &e.Cert)
+	}
+	return dst
+}
+
+func decodeRBCEcho(r *reader) *RBCEcho {
+	m := &RBCEcho{Sender: r.u16("sender"), Broadcaster: r.u16("broadcaster")}
+	n := r.count("entries")
+	if r.err != nil {
+		return m
+	}
+	m.Entries = make([]AnnounceEntry, 0, n)
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, AnnounceEntry{
+			Serial: r.u64("entry serial"),
+			Code:   r.bytes("entry code"),
+			Cert:   decodeUCert(r),
+		})
+	}
+	return m
+}
+
+// RBCReady is the READY step of the Bracha reliable broadcast: a vote that
+// the payload hashing to Hash is the broadcaster's unique proposal.
+type RBCReady struct {
+	Sender      uint16
+	Broadcaster uint16
+	Hash        []byte
+}
+
+// Kind implements Message.
+func (*RBCReady) Kind() Kind { return KindRBCReady }
+
+func (m *RBCReady) appendBody(dst []byte) []byte {
+	dst = appendU16(dst, m.Sender)
+	dst = appendU16(dst, m.Broadcaster)
+	return appendBytes(dst, m.Hash)
+}
+
+func decodeRBCReady(r *reader) *RBCReady {
+	return &RBCReady{
+		Sender:      r.u16("sender"),
+		Broadcaster: r.u16("broadcaster"),
+		Hash:        r.bytes("hash"),
+	}
+}
+
+// ABA step identifiers. EST/AUX mirror the MMR BVAL/AUX steps; COIN is the
+// per-round shared-coin exchange and DECIDE the Bracha termination gadget.
+const (
+	ABAStepEst    uint8 = 1
+	ABAStepAux    uint8 = 2
+	ABAStepCoin   uint8 = 3
+	ABAStepDecide uint8 = 4
+)
+
+// ABAGroup aggregates one (step, round, value) tuple over many ABA
+// instances, identified by their broadcaster indices.
+type ABAGroup struct {
+	Step      uint8
+	Round     uint16
+	Value     uint8
+	Instances []uint32
+}
+
+// ABA is the batched binary-agreement message of the ACS engine: one
+// instance per broadcaster, flushed and grouped exactly like the interlocked
+// engine's Consensus frames so both ride the same Batch envelope.
+type ABA struct {
+	Sender uint16
+	Groups []ABAGroup
+}
+
+// Kind implements Message.
+func (*ABA) Kind() Kind { return KindABA }
+
+func (m *ABA) appendBody(dst []byte) []byte {
+	dst = appendU16(dst, m.Sender)
+	dst = appendU32(dst, uint32(len(m.Groups))) //nolint:gosec // protocol-bounded
+	for i := range m.Groups {
+		g := &m.Groups[i]
+		dst = append(dst, g.Step, g.Value)
+		dst = appendU16(dst, g.Round)
+		dst = appendU32(dst, uint32(len(g.Instances))) //nolint:gosec // protocol-bounded
+		for _, inst := range g.Instances {
+			dst = appendU32(dst, inst)
+		}
+	}
+	return dst
+}
+
+func decodeABA(r *reader) *ABA {
+	m := &ABA{Sender: r.u16("sender")}
+	n := r.count("groups")
+	if r.err != nil {
+		return m
+	}
+	m.Groups = make([]ABAGroup, 0, n)
+	for i := 0; i < n; i++ {
+		g := ABAGroup{
 			Step:  r.u8("step"),
 			Value: r.u8("value"),
 			Round: r.u16("round"),
